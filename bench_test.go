@@ -1,0 +1,367 @@
+// Top-level benchmark harness: one benchmark per table and figure of the
+// paper's evaluation (see DESIGN.md §4 for the experiment index), plus the
+// ablation benchmarks DESIGN.md §6 calls out. Each benchmark regenerates the
+// corresponding result on the simulated platform and logs the headline
+// numbers; wall-clock time measures the harness, while the logged values are
+// simulated seconds and Joules comparable to the paper's columns.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/baseline"
+	"repro/internal/confgraph"
+	"repro/internal/experiments"
+	"repro/internal/loader"
+	"repro/internal/metrics"
+	"repro/internal/pipeline"
+	"repro/internal/scene"
+	"repro/internal/sched"
+)
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *experiments.Env
+	benchEnvErr  error
+)
+
+// env returns the shared characterization/graph environment.
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchEnvOnce.Do(func() {
+		benchEnv, benchEnvErr = experiments.NewEnv(1, experiments.DefaultValidationFrames)
+	})
+	if benchEnvErr != nil {
+		b.Fatal(benchEnvErr)
+	}
+	return benchEnv
+}
+
+// BenchmarkTableI regenerates Table I (single-model statistics on CPU, GPU
+// and DLA).
+func BenchmarkTableI(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TableI(e, 300, 300)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			gpu, _ := res.Cell("YoloV7", accel.KindGPU)
+			b.Logf("Table I YoloV7@GPU: %.3fs %.2fW %.3fJ (paper: 0.13s 15.1W 1.97J)",
+				gpu.TimeSec, gpu.PowerW, gpu.EnergyJ)
+		}
+	}
+}
+
+// BenchmarkTableIII regenerates the main results table over the full
+// six-scenario evaluation suite.
+func BenchmarkTableIII(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TableIII(e, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			shift, _ := res.Summary("SHIFT")
+			marlin, _ := res.Summary("Marlin")
+			b.Logf("SHIFT: iou=%.3f time=%.3fs energy=%.3fJ nonGPU=%.1f%% swaps=%d pairs=%.1f (paper: 0.598 0.047s 0.262J 68.7%% 42 4.3)",
+				shift.AvgIoU, shift.AvgTimeSec, shift.AvgEnergyJ, shift.NonGPUFrac*100, shift.Swaps, shift.PairsUsed)
+			b.Logf("Marlin: iou=%.3f time=%.3fs energy=%.3fJ (paper: 0.614 0.132s 1.201J)",
+				marlin.AvgIoU, marlin.AvgTimeSec, marlin.AvgEnergyJ)
+		}
+	}
+}
+
+// BenchmarkTableIV regenerates the full characterization table.
+func BenchmarkTableIV(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TableIV(e, 300)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			v7, _ := res.Row("YoloV7")
+			tiny, _ := res.Row("YoloV7-Tiny")
+			b.Logf("Table IV: YoloV7 iou=%.3f, Tiny iou=%.3f (paper: 0.618, 0.533)",
+				v7.AvgIoU, tiny.AvgIoU)
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates the e-a-l comparison of single-family scaling
+// vs the multi-model zoo.
+func BenchmarkFigure1(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure1(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates the single-model efficiency timelines.
+func BenchmarkFigure2(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure2(e, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates the scenario-1 SHIFT timeline.
+func BenchmarkFigure3(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure3(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("Figure 3: %d swaps, first at frame %d (paper: transitions near 50/500/1100/1650)",
+				len(res.SwapFrames), res.SwapFrames[0])
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates the scenario-2 SHIFT timeline.
+func BenchmarkFigure4(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure4(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5 runs the sensitivity sweep on the quick grid (the full
+// 1,920-configuration grid is cmd/sweep -full).
+func BenchmarkFigure5(b *testing.B) {
+	e := env(b)
+	cfg := experiments.QuickSweepConfig()
+	cfg.Scenarios = []*scene.Scenario{scene.Scenario2()}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure5(e, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			c := res.Correlations["energy knob"]
+			b.Logf("Figure 5: energy knob vs energy corr %+.3f (paper: negative)", c[1])
+		}
+	}
+}
+
+// runSHIFTWith runs SHIFT over scenario 2 with custom options and returns
+// the summary plus loader stats.
+func runSHIFTWith(b *testing.B, e *experiments.Env, mutate func(*pipeline.Options), graph *confgraph.Graph) (metrics.Summary, loader.Stats) {
+	b.Helper()
+	opts := pipeline.DefaultOptions()
+	if mutate != nil {
+		mutate(&opts)
+	}
+	if graph == nil {
+		graph = e.Graph
+	}
+	shift, err := pipeline.NewSHIFT(e.System(), e.Ch, graph, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := scene.Scenario2()
+	res, err := shift.Run(sc.Name, e.Frames(sc))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return metrics.Summarize(res), shift.LoaderStats()
+}
+
+// BenchmarkAblationGraphDepth compares the full confidence graph against a
+// distance-threshold-0 graph (per-model lookups only, no cross-model edges).
+func BenchmarkAblationGraphDepth(b *testing.B) {
+	e := env(b)
+	opts := confgraph.DefaultOptions()
+	opts.DistanceThreshold = 0
+	flat, err := confgraph.Build(e.Ch, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		full, _ := runSHIFTWith(b, e, nil, nil)
+		noDepth, _ := runSHIFTWith(b, e, nil, flat)
+		if i == 0 {
+			b.Logf("graph depth ablation: full iou=%.3f energy=%.3fJ | depth-0 iou=%.3f energy=%.3fJ",
+				full.AvgIoU, full.AvgEnergyJ, noDepth.AvgIoU, noDepth.AvgEnergyJ)
+		}
+	}
+}
+
+// BenchmarkAblationNoNCC disables the NCC keep-gate so the decision path
+// runs every frame; the gate's scheduling savings and stability show up as
+// the delta in swaps and time.
+func BenchmarkAblationNoNCC(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		gated, _ := runSHIFTWith(b, e, nil, nil)
+		ungated, _ := runSHIFTWith(b, e, func(o *pipeline.Options) { o.Sched.DisableGate = true }, nil)
+		if i == 0 {
+			b.Logf("NCC gate ablation: gated swaps=%d time=%.3fs | ungated swaps=%d time=%.3fs",
+				gated.Swaps, gated.AvgTimeSec, ungated.Swaps, ungated.AvgTimeSec)
+		}
+	}
+}
+
+// BenchmarkAblationEviction compares the DML's least-recently-requested
+// policy against FIFO and largest-first. The standard pool rarely evicts
+// once scheduling is stable, so the comparison runs under a tightened pool
+// and an accuracy-heavy configuration that pulls large engines in and out.
+func BenchmarkAblationEviction(b *testing.B) {
+	e := env(b)
+	policies := []loader.EvictionPolicy{loader.EvictLRR, loader.EvictFIFO, loader.EvictLargest}
+	for i := 0; i < b.N; i++ {
+		for _, p := range policies {
+			policy := p
+			opts := pipeline.DefaultOptions()
+			opts.Eviction = policy
+			opts.Sched.Knobs = sched.Knobs{Accuracy: 3, Energy: 0.2, Latency: 0.2}
+			sys := e.System()
+			// 1.3 GB: fits the largest single engine (E6E, 1.1 GB) but not
+			// two large engines together, so swaps between hard and easy
+			// stretches must evict.
+			sys.SoC.Pools[accel.SoCPoolName] = accel.NewMemPool(accel.SoCPoolName, 1300*accel.MB)
+			shift, err := pipeline.NewSHIFT(sys, e.Ch, e.Graph, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sc := scene.Scenario1() // hard stretches force big models in
+			res, err := shift.Run(sc.Name, e.Frames(sc))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				s := metrics.Summarize(res)
+				stats := shift.LoaderStats()
+				b.Logf("eviction=%s: loads=%d evictions=%d loadEnergy=%.1fJ frameEnergy=%.3fJ",
+					policy, stats.Loads, stats.Evictions, stats.LoadEnergyJ, s.AvgEnergyJ)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationMomentum varies the prediction-averaging window.
+func BenchmarkAblationMomentum(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		for _, m := range []int{1, 30, 120} {
+			mom := m
+			s, _ := runSHIFTWith(b, e, func(o *pipeline.Options) { o.Sched.Momentum = mom }, nil)
+			if i == 0 {
+				b.Logf("momentum=%d: iou=%.3f energy=%.3fJ swaps=%d", mom, s.AvgIoU, s.AvgEnergyJ, s.Swaps)
+			}
+		}
+	}
+}
+
+// BenchmarkSkipComparison runs the frame-skipping iso-energy comparison
+// (the quantified form of the paper's "no tracking, no skipping" claim).
+func BenchmarkSkipComparison(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.SkipComparison(e, []*scene.Scenario{scene.Scenario2()}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			closest := res.ClosestSkipByEnergy()
+			b.Logf("iso-energy (~%.2fJ): SHIFT iou=%.3f vs skip=%d iou=%.3f",
+				res.SHIFT.AvgEnergyJ, res.SHIFT.AvgIoU, closest.Skip, closest.Summary.AvgIoU)
+		}
+	}
+}
+
+// BenchmarkAblationOracleLoads quantifies the paper's free-switching
+// assumption: the same Oracle-A decision sequence with and without real
+// engine loads.
+func BenchmarkAblationOracleLoads(b *testing.B) {
+	e := env(b)
+	sc := scene.Scenario2()
+	frames := e.Frames(sc)
+	for i := 0; i < b.N; i++ {
+		free, err := baseline.NewOracle(e.System(), baseline.OracleAccuracy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		freeRes, err := free.Run(sc.Name, frames)
+		if err != nil {
+			b.Fatal(err)
+		}
+		paid, err := baseline.NewOracleWithLoads(e.System(), baseline.OracleAccuracy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		paidRes, err := paid.Run(sc.Name, frames)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			f := metrics.Summarize(freeRes)
+			p := metrics.Summarize(paidRes)
+			b.Logf("Oracle A free-switching subsidy: energy %.3f -> %.3fJ, time %.3f -> %.3fs",
+				f.AvgEnergyJ, p.AvgEnergyJ, f.AvgTimeSec, p.AvgTimeSec)
+		}
+	}
+}
+
+// BenchmarkGraphQuality runs the confidence-graph data-efficiency curve.
+func BenchmarkGraphQuality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.GraphQuality(1, []int{100, 400}, 200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			last := res.Points[len(res.Points)-1]
+			b.Logf("graph MAE %.3f vs naive %.3f at %d validation frames",
+				last.MAE, last.NaiveMAE, last.ValidationFrames)
+		}
+	}
+}
+
+// BenchmarkSHIFTFrame measures the per-frame cost of the full SHIFT loop
+// (load + exec + detect + decide) on the harness itself.
+func BenchmarkSHIFTFrame(b *testing.B) {
+	e := env(b)
+	sc := scene.Scenario2()
+	frames := e.Frames(sc)
+	shift, err := pipeline.NewSHIFT(e.System(), e.Ch, e.Graph, pipeline.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	done := 0
+	for done < b.N {
+		res, err := shift.Run(sc.Name, frames)
+		if err != nil {
+			b.Fatal(err)
+		}
+		done += len(res.Records)
+	}
+}
+
+// BenchmarkCharacterization measures the offline stage end to end.
+func BenchmarkCharacterization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.NewEnv(uint64(i+1), 300); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Command figures regenerates the paper's tables and figures as text
+// reports.
+//
+// Usage:
+//
+//	figures                # everything except the full sweep
+//	figures -exp table3    # one experiment: table1, table3, table4,
+//	                       # fig1, fig2, fig3, fig4, fig5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/scene"
+)
+
+func main() {
+	var (
+		seed      = flag.Uint64("seed", 1, "experiment seed")
+		valFrames = flag.Int("val-frames", experiments.DefaultValidationFrames, "validation set size")
+		exp       = flag.String("exp", "", "single experiment to run (default: all)")
+	)
+	flag.Parse()
+
+	if err := run(*seed, *valFrames, *exp); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed uint64, valFrames int, exp string) error {
+	env, err := experiments.NewEnv(seed, valFrames)
+	if err != nil {
+		return err
+	}
+	runners := map[string]func() (string, error){
+		"table1": func() (string, error) {
+			r, err := experiments.TableI(env, valFrames, 500)
+			if err != nil {
+				return "", err
+			}
+			return r.Report(), nil
+		},
+		"table3": func() (string, error) {
+			r, err := experiments.TableIII(env, nil)
+			if err != nil {
+				return "", err
+			}
+			return r.Report(), nil
+		},
+		"table4": func() (string, error) {
+			r, err := experiments.TableIV(env, 500)
+			if err != nil {
+				return "", err
+			}
+			return r.Report(), nil
+		},
+		"fig1": func() (string, error) {
+			r, err := experiments.Figure1(env)
+			if err != nil {
+				return "", err
+			}
+			return r.Report(), nil
+		},
+		"fig2": func() (string, error) {
+			r, err := experiments.Figure2(env, nil)
+			if err != nil {
+				return "", err
+			}
+			return r.Report(), nil
+		},
+		"fig3": func() (string, error) {
+			r, err := experiments.Figure3(env)
+			if err != nil {
+				return "", err
+			}
+			return r.Report(), nil
+		},
+		"fig4": func() (string, error) {
+			r, err := experiments.Figure4(env)
+			if err != nil {
+				return "", err
+			}
+			return r.Report(), nil
+		},
+		"fig5": func() (string, error) {
+			cfg := experiments.QuickSweepConfig()
+			cfg.Scenarios = []*scene.Scenario{scene.Scenario2()}
+			r, err := experiments.Figure5(env, cfg)
+			if err != nil {
+				return "", err
+			}
+			return r.Report(), nil
+		},
+		"skip": func() (string, error) {
+			r, err := experiments.SkipComparison(env, nil, nil)
+			if err != nil {
+				return "", err
+			}
+			fast, err := experiments.SkipComparison(env,
+				[]*scene.Scenario{scene.ScenarioFastManeuver()}, nil)
+			if err != nil {
+				return "", err
+			}
+			return r.Report() + "\nfast-maneuver stress:\n" + fast.Report(), nil
+		},
+	}
+	order := []string{"table1", "table4", "fig1", "fig2", "fig3", "fig4", "table3", "fig5", "skip"}
+
+	if exp != "" {
+		fn, ok := runners[exp]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (have %v)", exp, order)
+		}
+		out, err := fn()
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		return nil
+	}
+	for _, name := range order {
+		out, err := runners[name]()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("==== %s ====\n%s\n", name, out)
+	}
+	return nil
+}

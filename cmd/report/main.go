@@ -1,0 +1,47 @@
+// Command report regenerates the paper-vs-measured comparison that
+// EXPERIMENTS.md records: every Table III row side by side with the paper's
+// numbers, the Table IV accuracy column, the headline improvement ratios,
+// and the live-feed deadline extension.
+//
+// Usage:
+//
+//	report               # print to stdout
+//	report -o report.md  # write to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		seed      = flag.Uint64("seed", 1, "experiment seed")
+		valFrames = flag.Int("val-frames", experiments.DefaultValidationFrames, "validation set size")
+		out       = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	env, err := experiments.NewEnv(*seed, *valFrames)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+	text, err := experiments.ComparisonReport(env)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		fmt.Print(text)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -1,0 +1,62 @@
+// Command sweep runs the sensitivity analysis behind Fig. 5: a grid of
+// SHIFT configurations (knobs, accuracy threshold, momentum, confidence-
+// graph distance threshold) is executed over evaluation scenarios and the
+// per-parameter correlations with mean accuracy, energy and latency are
+// reported.
+//
+// Usage:
+//
+//	sweep            # quick grid
+//	sweep -full      # the full 1,920-configuration grid (~minutes)
+//	sweep -points    # also dump every configuration's raw outcome
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		seed      = flag.Uint64("seed", 1, "experiment seed")
+		valFrames = flag.Int("val-frames", experiments.DefaultValidationFrames, "validation set size")
+		full      = flag.Bool("full", false, "run the full 1,920-configuration grid")
+		points    = flag.Bool("points", false, "print each configuration's raw outcome")
+	)
+	flag.Parse()
+
+	if err := run(*seed, *valFrames, *full, *points); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed uint64, valFrames int, full, points bool) error {
+	env, err := experiments.NewEnv(seed, valFrames)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.QuickSweepConfig()
+	if full {
+		cfg = experiments.DefaultSweepConfig()
+	}
+	fmt.Printf("sweeping %d configurations...\n", cfg.Size())
+	res, err := experiments.Figure5(env, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Report())
+	fmt.Println(experiments.ParetoReport(res.Points))
+	if points {
+		fmt.Println("raw points:")
+		for _, p := range res.Points {
+			fmt.Printf("  knobs=(%.2f,%.2f,%.2f) thr=%.2f mom=%d dist=%.2f -> iou=%.3f time=%.4f energy=%.3f\n",
+				p.AccKnob, p.EnergyKnob, p.LatencyKnob, p.AccThreshold, p.Momentum, p.DistThreshold,
+				p.MeanIoU, p.MeanTimeSec, p.MeanEnergyJ)
+		}
+	}
+	return nil
+}

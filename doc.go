@@ -1,0 +1,27 @@
+// Package repro is a from-scratch Go reproduction of "Context-aware
+// Multi-Model Object Detection for Diversely Heterogeneous Compute Systems"
+// (Davis & Belviranli, DATE 2024) — the SHIFT system.
+//
+// SHIFT continuously selects which object-detection model to run, and on
+// which accelerator, based on contextual information derived from the input
+// video stream. The reproduction implements the paper's three components
+// (confidence graph, runtime scheduler, dynamic model loader) plus every
+// substrate the evaluation depends on: a procedural video synthesizer, a
+// behaviourally simulated eight-model detection zoo, and a virtual-time
+// Xavier NX + OAK-D platform with power and memory accounting.
+//
+// Layout:
+//
+//   - internal/confgraph, internal/sched, internal/loader, internal/pipeline:
+//     the paper's contribution (offline graph, Algorithm 1, DML, runtime).
+//   - internal/scene, internal/detmodel, internal/accel, internal/zoo:
+//     the simulated substrates (videos, models, hardware, binding).
+//   - internal/baseline: Marlin, single-model and Oracle comparison methods.
+//   - internal/experiments: one runner per paper table/figure.
+//   - cmd/: shiftsim, characterize, sweep, figures.
+//   - examples/: quickstart, dronechase, energybudget, customzoo.
+//
+// Top-level benchmarks in bench_test.go regenerate every table and figure;
+// see DESIGN.md for the experiment index and EXPERIMENTS.md for measured
+// results against the paper's numbers.
+package repro

@@ -1,0 +1,309 @@
+// Package accel simulates the heterogeneous compute platform of the paper's
+// evaluation: an Nvidia Xavier NX SoC (CPU + GPU + 2×DLA sharing one memory
+// pool) plus a Luxonis OAK-D camera accelerator with its own memory.
+//
+// The physical hardware is replaced by a virtual-time model: executing a
+// workload on a processor advances a simulated clock by a jittered latency
+// and integrates a jittered power draw into per-processor energy meters.
+// Latency and power anchors come from Tables I and IV of the paper, so
+// simulated seconds and Joules are directly comparable to the paper's
+// columns, while remaining deterministic and machine-independent.
+package accel
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Kind classifies processors; performance tables are keyed by Kind.
+type Kind int
+
+// Processor kinds present in the evaluation platform.
+const (
+	KindCPU Kind = iota
+	KindGPU
+	KindDLA
+	KindOAKD
+)
+
+// String returns the kind name as used in report tables.
+func (k Kind) String() string {
+	switch k {
+	case KindCPU:
+		return "CPU"
+	case KindGPU:
+		return "GPU"
+	case KindDLA:
+		return "DLA"
+	case KindOAKD:
+		return "OAK-D"
+	default:
+		return "?"
+	}
+}
+
+// Proc is one processor of the platform.
+type Proc struct {
+	// ID uniquely names the processor instance ("gpu", "dla0", ...).
+	ID string
+	// Kind selects the performance table row.
+	Kind Kind
+	// Pool names the memory pool models must be resident in to execute.
+	Pool string
+	// IdlePowerW is the rail draw when the processor sits idle; charged by
+	// the pipeline for wait periods when requested.
+	IdlePowerW float64
+}
+
+// MemPool is a named memory arena with explicit allocations. GPU and DLAs
+// share the SoC pool (as on the Xavier NX); the OAK-D has its own.
+type MemPool struct {
+	Name     string
+	Capacity int64
+
+	used   int64
+	allocs map[string]int64
+}
+
+// NewMemPool returns an empty pool of the given byte capacity.
+func NewMemPool(name string, capacity int64) *MemPool {
+	return &MemPool{Name: name, Capacity: capacity, allocs: make(map[string]int64)}
+}
+
+// Alloc reserves size bytes under key. It fails if the key is already
+// allocated or capacity would be exceeded; the dynamic model loader reacts
+// to that failure by evicting.
+func (p *MemPool) Alloc(key string, size int64) error {
+	if size < 0 {
+		return fmt.Errorf("accel: negative allocation %d for %q", size, key)
+	}
+	if _, ok := p.allocs[key]; ok {
+		return fmt.Errorf("accel: %q already allocated in pool %s", key, p.Name)
+	}
+	if p.used+size > p.Capacity {
+		return fmt.Errorf("accel: pool %s full (%d used, %d requested, %d capacity)",
+			p.Name, p.used, size, p.Capacity)
+	}
+	p.allocs[key] = size
+	p.used += size
+	return nil
+}
+
+// Free releases the allocation under key; freeing an absent key is an error
+// so loader bookkeeping bugs surface immediately.
+func (p *MemPool) Free(key string) error {
+	size, ok := p.allocs[key]
+	if !ok {
+		return fmt.Errorf("accel: %q not allocated in pool %s", key, p.Name)
+	}
+	delete(p.allocs, key)
+	p.used -= size
+	return nil
+}
+
+// Used returns the allocated byte count.
+func (p *MemPool) Used() int64 { return p.used }
+
+// Available returns the free byte count.
+func (p *MemPool) Available() int64 { return p.Capacity - p.used }
+
+// Has reports whether key is currently allocated.
+func (p *MemPool) Has(key string) bool {
+	_, ok := p.allocs[key]
+	return ok
+}
+
+// Keys returns the allocated keys in deterministic (sorted) order.
+func (p *MemPool) Keys() []string {
+	keys := make([]string, 0, len(p.allocs))
+	for k := range p.allocs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Clock is the virtual time source. All latencies in the simulation advance
+// this clock; wall-clock time never enters any measurement.
+type Clock struct {
+	now time.Duration
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves virtual time forward; negative advances panic, since they
+// indicate a harness bug that would corrupt every downstream measurement.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic("accel: negative clock advance")
+	}
+	c.now += d
+}
+
+// Cost is the latency and energy charged for one operation.
+type Cost struct {
+	Lat    time.Duration
+	Energy float64 // Joules
+	PowerW float64 // average power over Lat, for reporting
+}
+
+// Meter accumulates per-processor usage.
+type Meter struct {
+	BusyTime map[string]time.Duration
+	Energy   map[string]float64
+	Execs    map[string]int
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter {
+	return &Meter{
+		BusyTime: make(map[string]time.Duration),
+		Energy:   make(map[string]float64),
+		Execs:    make(map[string]int),
+	}
+}
+
+// TotalEnergy returns the energy accumulated across all processors.
+func (m *Meter) TotalEnergy() float64 {
+	var sum float64
+	for _, e := range m.Energy {
+		sum += e
+	}
+	return sum
+}
+
+// SoC is the simulated platform: processors, memory pools, virtual clock and
+// energy meter. It is not safe for concurrent use; the detection pipeline is
+// a sequential per-frame loop, as in the paper.
+type SoC struct {
+	Clock *Clock
+	Procs map[string]*Proc
+	Pools map[string]*MemPool
+	Meter *Meter
+
+	// LatJitter and PowerJitter are relative standard deviations applied to
+	// every execution.
+	LatJitter   float64
+	PowerJitter float64
+
+	r     *rng.Stream
+	trace *Trace
+}
+
+// NewSoC assembles a platform from processors and pools, with jitter drawn
+// from the stream r.
+func NewSoC(procs []*Proc, pools []*MemPool, r *rng.Stream) *SoC {
+	s := &SoC{
+		Clock:       &Clock{},
+		Procs:       make(map[string]*Proc, len(procs)),
+		Pools:       make(map[string]*MemPool, len(pools)),
+		Meter:       NewMeter(),
+		LatJitter:   0.04,
+		PowerJitter: 0.03,
+		r:           r,
+	}
+	for _, p := range procs {
+		s.Procs[p.ID] = p
+	}
+	for _, p := range pools {
+		s.Pools[p.Name] = p
+	}
+	return s
+}
+
+// Proc returns the processor with the given ID.
+func (s *SoC) Proc(id string) (*Proc, error) {
+	p, ok := s.Procs[id]
+	if !ok {
+		return nil, fmt.Errorf("accel: unknown processor %q", id)
+	}
+	return p, nil
+}
+
+// PoolOf returns the memory pool backing processor id.
+func (s *SoC) PoolOf(id string) (*MemPool, error) {
+	p, err := s.Proc(id)
+	if err != nil {
+		return nil, err
+	}
+	pool, ok := s.Pools[p.Pool]
+	if !ok {
+		return nil, fmt.Errorf("accel: processor %q references unknown pool %q", id, p.Pool)
+	}
+	return pool, nil
+}
+
+// Exec simulates running a workload with the given mean latency (seconds)
+// and mean power (Watts) on processor procID. The clock advances by the
+// jittered latency and the meter accumulates the jittered energy.
+func (s *SoC) Exec(procID string, latMean, powerMean float64) (Cost, error) {
+	if _, err := s.Proc(procID); err != nil {
+		return Cost{}, err
+	}
+	if latMean < 0 || powerMean < 0 {
+		return Cost{}, fmt.Errorf("accel: negative workload parameters (%v s, %v W)", latMean, powerMean)
+	}
+	lat := s.r.Jitter(latMean, s.LatJitter)
+	pow := s.r.Jitter(powerMean, s.PowerJitter)
+	d := time.Duration(lat * float64(time.Second))
+	start := s.Clock.Now()
+	s.Clock.Advance(d)
+	energy := d.Seconds() * pow // use the rounded duration so Energy == Lat·Power exactly
+	s.Meter.BusyTime[procID] += d
+	s.Meter.Energy[procID] += energy
+	s.Meter.Execs[procID]++
+	if s.trace != nil {
+		s.trace.Samples = append(s.trace.Samples, TraceSample{
+			Proc: procID, Start: start, Dur: d, PowerW: pow,
+		})
+	}
+	return Cost{Lat: d, Energy: energy, PowerW: pow}, nil
+}
+
+// ProcIDsByKind returns processor IDs of the given kind in sorted order.
+func (s *SoC) ProcIDsByKind(k Kind) []string {
+	var ids []string
+	for id, p := range s.Procs {
+		if p.Kind == k {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Platform memory sizing. The Xavier NX exposes 8 GB shared between the OS
+// and all engines; after the OS, capture pipeline and runtime are accounted
+// for, roughly 2 GB remain for TensorRT engines — small enough that the full
+// FP32 zoo does not fit and the dynamic model loader must evict (as the
+// paper's Table III swap counts imply). The OAK-D's usable blob storage is
+// modelled at 450 MB, fitting both supported models.
+const (
+	MB          = int64(1) << 20
+	SoCPoolMB   = 2048
+	OAKDPoolMB  = 450
+	SoCPoolName = "soc"
+	OAKDPool    = "oakd"
+)
+
+// DefaultPlatform builds the paper's evaluation platform: CPU, GPU, two
+// DLAs (sharing the SoC pool) and an OAK-D. Idle powers follow the rail
+// baselines reported for the Xavier NX and OAK-D.
+func DefaultPlatform(r *rng.Stream) *SoC {
+	procs := []*Proc{
+		{ID: "cpu", Kind: KindCPU, Pool: SoCPoolName, IdlePowerW: 1.5},
+		{ID: "gpu", Kind: KindGPU, Pool: SoCPoolName, IdlePowerW: 2.0},
+		{ID: "dla0", Kind: KindDLA, Pool: SoCPoolName, IdlePowerW: 0.8},
+		{ID: "dla1", Kind: KindDLA, Pool: SoCPoolName, IdlePowerW: 0.8},
+		{ID: "oakd", Kind: KindOAKD, Pool: OAKDPool, IdlePowerW: 0.9},
+	}
+	pools := []*MemPool{
+		NewMemPool(SoCPoolName, SoCPoolMB*MB),
+		NewMemPool(OAKDPool, OAKDPoolMB*MB),
+	}
+	return NewSoC(procs, pools, r)
+}

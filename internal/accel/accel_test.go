@@ -1,0 +1,245 @@
+package accel
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func testSoC() *SoC { return DefaultPlatform(rng.New(1)) }
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{KindCPU: "CPU", KindGPU: "GPU", KindDLA: "DLA", KindOAKD: "OAK-D", Kind(9): "?"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestDefaultPlatformShape(t *testing.T) {
+	s := testSoC()
+	if len(s.Procs) != 5 {
+		t.Fatalf("platform has %d processors, want 5 (CPU, GPU, 2xDLA, OAK-D)", len(s.Procs))
+	}
+	if got := s.ProcIDsByKind(KindDLA); len(got) != 2 {
+		t.Fatalf("want 2 DLAs, got %v", got)
+	}
+	// GPU and DLA share the SoC pool, as on the Xavier NX.
+	gpuPool, err := s.PoolOf("gpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dlaPool, err := s.PoolOf("dla0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpuPool != dlaPool {
+		t.Fatal("GPU and DLA must share the SoC memory pool")
+	}
+	oakPool, err := s.PoolOf("oakd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oakPool == gpuPool {
+		t.Fatal("OAK-D must have a separate memory pool")
+	}
+}
+
+func TestUnknownProcessor(t *testing.T) {
+	s := testSoC()
+	if _, err := s.Proc("npu"); err == nil {
+		t.Fatal("unknown processor should error")
+	}
+	if _, err := s.PoolOf("npu"); err == nil {
+		t.Fatal("PoolOf unknown processor should error")
+	}
+	if _, err := s.Exec("npu", 0.1, 5); err == nil {
+		t.Fatal("Exec on unknown processor should error")
+	}
+}
+
+func TestMemPoolAllocFree(t *testing.T) {
+	p := NewMemPool("test", 100)
+	if err := p.Alloc("a", 60); err != nil {
+		t.Fatal(err)
+	}
+	if p.Used() != 60 || p.Available() != 40 {
+		t.Fatalf("used/available = %d/%d", p.Used(), p.Available())
+	}
+	if err := p.Alloc("b", 50); err == nil {
+		t.Fatal("over-capacity alloc should fail")
+	}
+	if err := p.Alloc("a", 10); err == nil {
+		t.Fatal("duplicate alloc should fail")
+	}
+	if !p.Has("a") || p.Has("b") {
+		t.Fatal("Has bookkeeping wrong")
+	}
+	if err := p.Free("a"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Used() != 0 {
+		t.Fatalf("used after free = %d", p.Used())
+	}
+	if err := p.Free("a"); err == nil {
+		t.Fatal("double free should fail")
+	}
+}
+
+func TestMemPoolNegativeAlloc(t *testing.T) {
+	p := NewMemPool("test", 100)
+	if err := p.Alloc("a", -1); err == nil {
+		t.Fatal("negative alloc should fail")
+	}
+}
+
+func TestMemPoolKeysSorted(t *testing.T) {
+	p := NewMemPool("test", 1000)
+	for _, k := range []string{"zeta", "alpha", "mid"} {
+		if err := p.Alloc(k, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := p.Keys()
+	if len(keys) != 3 || keys[0] != "alpha" || keys[1] != "mid" || keys[2] != "zeta" {
+		t.Fatalf("Keys() = %v, want sorted", keys)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := &Clock{}
+	if c.Now() != 0 {
+		t.Fatal("fresh clock not at zero")
+	}
+	c.Advance(5 * time.Millisecond)
+	c.Advance(10 * time.Millisecond)
+	if c.Now() != 15*time.Millisecond {
+		t.Fatalf("clock at %v, want 15ms", c.Now())
+	}
+}
+
+func TestClockNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative advance did not panic")
+		}
+	}()
+	(&Clock{}).Advance(-time.Second)
+}
+
+func TestExecAdvancesClockAndMeters(t *testing.T) {
+	s := testSoC()
+	cost, err := s.Exec("gpu", 0.130, 15.14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Clock.Now() != cost.Lat {
+		t.Fatalf("clock %v != cost latency %v", s.Clock.Now(), cost.Lat)
+	}
+	if s.Meter.Execs["gpu"] != 1 {
+		t.Fatal("exec count not recorded")
+	}
+	if s.Meter.Energy["gpu"] != cost.Energy {
+		t.Fatal("energy not metered")
+	}
+	// Jittered values stay near their anchors.
+	lat := cost.Lat.Seconds()
+	if lat < 0.130*0.7 || lat > 0.130*1.3 {
+		t.Fatalf("latency %v too far from anchor 0.130", lat)
+	}
+	if cost.PowerW < 15.14*0.8 || cost.PowerW > 15.14*1.2 {
+		t.Fatalf("power %v too far from anchor 15.14", cost.PowerW)
+	}
+	if want := lat * cost.PowerW; absDiff(cost.Energy, want) > 1e-9 {
+		t.Fatalf("energy %v != lat*power %v", cost.Energy, want)
+	}
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func TestExecStatistics(t *testing.T) {
+	s := testSoC()
+	const n = 2000
+	var latSum float64
+	for i := 0; i < n; i++ {
+		c, err := s.Exec("dla0", 0.118, 5.56)
+		if err != nil {
+			t.Fatal(err)
+		}
+		latSum += c.Lat.Seconds()
+	}
+	mean := latSum / n
+	if absDiff(mean, 0.118) > 0.005 {
+		t.Fatalf("mean latency %v, want ~0.118", mean)
+	}
+	if s.Meter.Execs["dla0"] != n {
+		t.Fatalf("exec count %d", s.Meter.Execs["dla0"])
+	}
+	if total := s.Meter.TotalEnergy(); absDiff(total, n*0.118*5.56) > n*0.118*5.56*0.05 {
+		t.Fatalf("total energy %v far from expectation", total)
+	}
+}
+
+func TestExecNegativeParams(t *testing.T) {
+	s := testSoC()
+	if _, err := s.Exec("gpu", -1, 5); err == nil {
+		t.Fatal("negative latency should error")
+	}
+	if _, err := s.Exec("gpu", 1, -5); err == nil {
+		t.Fatal("negative power should error")
+	}
+}
+
+func TestExecDeterministic(t *testing.T) {
+	a, b := DefaultPlatform(rng.New(9)), DefaultPlatform(rng.New(9))
+	for i := 0; i < 50; i++ {
+		ca, _ := a.Exec("gpu", 0.1, 10)
+		cb, _ := b.Exec("gpu", 0.1, 10)
+		if ca != cb {
+			t.Fatalf("identical platforms diverged at exec %d", i)
+		}
+	}
+}
+
+func TestDLACheaperThanGPU(t *testing.T) {
+	// Energy shape from the paper: DLA saves ~2.5-3x energy vs GPU at
+	// similar latency for YoloV7.
+	s := testSoC()
+	var gpuE, dlaE float64
+	for i := 0; i < 500; i++ {
+		cg, _ := s.Exec("gpu", 0.130, 15.14)
+		cd, _ := s.Exec("dla0", 0.118, 5.56)
+		gpuE += cg.Energy
+		dlaE += cd.Energy
+	}
+	ratio := gpuE / dlaE
+	if ratio < 2 || ratio > 4 {
+		t.Fatalf("GPU/DLA energy ratio %v, want ~3 (paper: ~2.5-3x)", ratio)
+	}
+}
+
+func TestPoolCapacityForcesEviction(t *testing.T) {
+	// The SoC pool must NOT fit the whole FP32 zoo, otherwise the dynamic
+	// model loader never exercises its eviction path (Table III swap counts
+	// would be trivially zero).
+	totalZooMB := int64(1100 + 800 + 600 + 100 + 400 + 150 + 120 + 60)
+	if SoCPoolMB >= totalZooMB {
+		t.Fatalf("SoC pool (%d MB) fits the whole zoo (%d MB); eviction never triggers",
+			SoCPoolMB, totalZooMB)
+	}
+}
+
+func BenchmarkExec(b *testing.B) {
+	s := testSoC()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = s.Exec("gpu", 0.1, 10)
+	}
+}

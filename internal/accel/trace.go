@@ -1,0 +1,136 @@
+package accel
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// TraceSample is one execution interval on one processor, as a power-rail
+// monitor would record it: who drew how much power, when, for how long.
+type TraceSample struct {
+	Proc   string
+	Start  time.Duration
+	Dur    time.Duration
+	PowerW float64
+}
+
+// EnergyJ returns the sample's energy.
+func (s TraceSample) EnergyJ() float64 { return s.Dur.Seconds() * s.PowerW }
+
+// Trace records execution intervals for post-hoc rail analysis — the
+// simulated counterpart of the INA-based rail monitoring used on the Xavier
+// NX. Attach with SoC.AttachTrace; recording costs one append per Exec.
+type Trace struct {
+	Samples []TraceSample
+}
+
+// AttachTrace starts recording all subsequent executions into a new Trace.
+func (s *SoC) AttachTrace() *Trace {
+	t := &Trace{}
+	s.trace = t
+	return t
+}
+
+// DetachTrace stops recording.
+func (s *SoC) DetachTrace() { s.trace = nil }
+
+// RailSummary aggregates a trace per processor.
+type RailSummary struct {
+	Proc     string
+	Busy     time.Duration
+	EnergyJ  float64
+	AvgPower float64 // energy / busy time
+	Samples  int
+}
+
+// Rails summarizes the trace per processor, sorted by processor ID.
+func (t *Trace) Rails() []RailSummary {
+	agg := map[string]*RailSummary{}
+	for _, s := range t.Samples {
+		r, ok := agg[s.Proc]
+		if !ok {
+			r = &RailSummary{Proc: s.Proc}
+			agg[s.Proc] = r
+		}
+		r.Busy += s.Dur
+		r.EnergyJ += s.EnergyJ()
+		r.Samples++
+	}
+	out := make([]RailSummary, 0, len(agg))
+	for _, r := range agg {
+		if r.Busy > 0 {
+			r.AvgPower = r.EnergyJ / r.Busy.Seconds()
+		}
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Proc < out[j].Proc })
+	return out
+}
+
+// PowerAt returns the total instantaneous power draw across rails at virtual
+// time ts (0 between executions — idle draw is not part of exec traces).
+func (t *Trace) PowerAt(ts time.Duration) float64 {
+	var total float64
+	for _, s := range t.Samples {
+		if ts >= s.Start && ts < s.Start+s.Dur {
+			total += s.PowerW
+		}
+	}
+	return total
+}
+
+// Series resamples the trace's total power draw into n buckets spanning
+// [0, end), returning average Watts per bucket — what a rail plot shows.
+func (t *Trace) Series(end time.Duration, n int) ([]float64, error) {
+	if n <= 0 || end <= 0 {
+		return nil, fmt.Errorf("accel: invalid series request (n=%d end=%v)", n, end)
+	}
+	out := make([]float64, n)
+	bucket := end / time.Duration(n)
+	if bucket <= 0 {
+		return nil, fmt.Errorf("accel: series bucket underflow (end=%v n=%d)", end, n)
+	}
+	for _, s := range t.Samples {
+		// Distribute the sample's energy over the buckets it overlaps.
+		first := int(s.Start / bucket)
+		last := int((s.Start + s.Dur - 1) / bucket)
+		for b := first; b <= last && b < n; b++ {
+			if b < 0 {
+				continue
+			}
+			bStart := time.Duration(b) * bucket
+			bEnd := bStart + bucket
+			ovStart := maxDur(bStart, s.Start)
+			ovEnd := minDur(bEnd, s.Start+s.Dur)
+			if ovEnd <= ovStart {
+				continue
+			}
+			out[b] += s.PowerW * (ovEnd - ovStart).Seconds() / bucket.Seconds()
+		}
+	}
+	return out, nil
+}
+
+// TotalEnergy returns the trace's energy across all rails.
+func (t *Trace) TotalEnergy() float64 {
+	var sum float64
+	for _, s := range t.Samples {
+		sum += s.EnergyJ()
+	}
+	return sum
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minDur(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,138 @@
+package accel
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func TestTraceRecordsExecs(t *testing.T) {
+	s := DefaultPlatform(rng.New(1))
+	tr := s.AttachTrace()
+	for i := 0; i < 5; i++ {
+		if _, err := s.Exec("gpu", 0.1, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(tr.Samples) != 5 {
+		t.Fatalf("recorded %d samples, want 5", len(tr.Samples))
+	}
+	// Samples tile the virtual timeline without gaps (back-to-back execs).
+	for i := 1; i < len(tr.Samples); i++ {
+		if tr.Samples[i].Start != tr.Samples[i-1].Start+tr.Samples[i-1].Dur {
+			t.Fatalf("sample %d not contiguous", i)
+		}
+	}
+	s.DetachTrace()
+	if _, err := s.Exec("gpu", 0.1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Samples) != 5 {
+		t.Fatal("DetachTrace did not stop recording")
+	}
+}
+
+func TestTraceEnergyMatchesMeter(t *testing.T) {
+	s := DefaultPlatform(rng.New(2))
+	tr := s.AttachTrace()
+	for i := 0; i < 20; i++ {
+		if _, err := s.Exec("dla0", 0.05, 5.5); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Exec("gpu", 0.02, 12); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if diff := math.Abs(tr.TotalEnergy() - s.Meter.TotalEnergy()); diff > 1e-9 {
+		t.Fatalf("trace energy %v != meter energy %v", tr.TotalEnergy(), s.Meter.TotalEnergy())
+	}
+}
+
+func TestRailsSummary(t *testing.T) {
+	s := DefaultPlatform(rng.New(3))
+	tr := s.AttachTrace()
+	for i := 0; i < 10; i++ {
+		_, _ = s.Exec("gpu", 0.1, 15)
+		_, _ = s.Exec("dla0", 0.1, 5.5)
+	}
+	rails := tr.Rails()
+	if len(rails) != 2 {
+		t.Fatalf("%d rails, want 2", len(rails))
+	}
+	// Sorted by proc ID: dla0 before gpu.
+	if rails[0].Proc != "dla0" || rails[1].Proc != "gpu" {
+		t.Fatalf("rail order: %v %v", rails[0].Proc, rails[1].Proc)
+	}
+	if rails[0].Samples != 10 || rails[1].Samples != 10 {
+		t.Fatal("sample counts wrong")
+	}
+	// Average power near anchors.
+	if math.Abs(rails[1].AvgPower-15) > 1.5 {
+		t.Fatalf("gpu avg power %v", rails[1].AvgPower)
+	}
+	if rails[0].AvgPower >= rails[1].AvgPower {
+		t.Fatal("DLA rail should draw less than GPU rail")
+	}
+}
+
+func TestPowerAt(t *testing.T) {
+	tr := &Trace{Samples: []TraceSample{
+		{Proc: "gpu", Start: 0, Dur: time.Second, PowerW: 10},
+		{Proc: "dla0", Start: 500 * time.Millisecond, Dur: time.Second, PowerW: 5},
+	}}
+	if p := tr.PowerAt(250 * time.Millisecond); p != 10 {
+		t.Fatalf("PowerAt(0.25s) = %v, want 10", p)
+	}
+	if p := tr.PowerAt(750 * time.Millisecond); p != 15 {
+		t.Fatalf("PowerAt(0.75s) = %v, want 15 (overlap)", p)
+	}
+	if p := tr.PowerAt(1200 * time.Millisecond); p != 5 {
+		t.Fatalf("PowerAt(1.2s) = %v, want 5", p)
+	}
+	if p := tr.PowerAt(3 * time.Second); p != 0 {
+		t.Fatalf("PowerAt(3s) = %v, want 0", p)
+	}
+}
+
+func TestSeriesConservesEnergy(t *testing.T) {
+	tr := &Trace{Samples: []TraceSample{
+		{Proc: "gpu", Start: 0, Dur: time.Second, PowerW: 10},
+		{Proc: "gpu", Start: 2 * time.Second, Dur: time.Second, PowerW: 20},
+	}}
+	series, err := tr.Series(4*time.Second, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Integrate: sum(watts per bucket * bucket seconds) == total energy.
+	bucketSec := 0.5
+	var integral float64
+	for _, w := range series {
+		integral += w * bucketSec
+	}
+	if math.Abs(integral-tr.TotalEnergy()) > 1e-9 {
+		t.Fatalf("series integral %v != energy %v", integral, tr.TotalEnergy())
+	}
+	// The idle gap (1s-2s) must read zero.
+	if series[2] != 0 || series[3] != 0 {
+		t.Fatalf("idle buckets non-zero: %v", series)
+	}
+}
+
+func TestSeriesValidation(t *testing.T) {
+	tr := &Trace{}
+	if _, err := tr.Series(0, 4); err == nil {
+		t.Fatal("zero end should fail")
+	}
+	if _, err := tr.Series(time.Second, 0); err == nil {
+		t.Fatal("zero buckets should fail")
+	}
+}
+
+func TestSampleEnergy(t *testing.T) {
+	s := TraceSample{Dur: 2 * time.Second, PowerW: 3}
+	if s.EnergyJ() != 6 {
+		t.Fatalf("EnergyJ = %v", s.EnergyJ())
+	}
+}

@@ -1,0 +1,240 @@
+// Package baseline implements the comparison methods of the paper's
+// evaluation (Table III):
+//
+//   - SingleModel: the conventional deployment — one fixed (model,
+//     accelerator) pair for every frame.
+//   - Marlin [5]: power-thrifty detection that alternates a DNN with a
+//     lightweight NCC template tracker, re-invoking the DNN when the tracker
+//     loses confidence, the target moves, or the track ages out.
+//   - Oracle: the performance ceiling — per frame it inspects every
+//     (model, kind) pair's actual outcome, keeps those clearing 0.5 IoU and
+//     picks the one optimizing the target metric (energy, accuracy or
+//     latency). Following the paper, the Oracle assumes all models are
+//     resident (no load costs) and pays only the chosen pair's execution.
+//
+// All baselines run on the same virtual platform, the same deterministic
+// detections and the same rendered frames as SHIFT, so Table III comparisons
+// are apples-to-apples.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/detmodel"
+	"repro/internal/loader"
+	"repro/internal/pipeline"
+	"repro/internal/scene"
+	"repro/internal/track"
+	"repro/internal/zoo"
+)
+
+// findPair resolves a (model, procID) to a runtime pair.
+func findPair(sys *zoo.System, model, procID string) (zoo.Pair, error) {
+	for _, p := range sys.RuntimePairs() {
+		if p.Model == model && p.ProcID == procID {
+			return p, nil
+		}
+	}
+	return zoo.Pair{}, fmt.Errorf("baseline: no runtime pair %s@%s", model, procID)
+}
+
+// SingleModel runs one fixed pair on every frame.
+type SingleModel struct {
+	sys  *zoo.System
+	pair zoo.Pair
+	dml  *loader.Loader
+}
+
+// NewSingleModel builds the conventional single-model runner.
+func NewSingleModel(sys *zoo.System, model, procID string) (*SingleModel, error) {
+	pair, err := findPair(sys, model, procID)
+	if err != nil {
+		return nil, err
+	}
+	return &SingleModel{sys: sys, pair: pair, dml: loader.New(sys, loader.EvictLRR)}, nil
+}
+
+// Name implements pipeline.Runner.
+func (s *SingleModel) Name() string { return s.pair.Model + "@" + s.pair.ProcID }
+
+// Run implements pipeline.Runner.
+func (s *SingleModel) Run(scenario string, frames []scene.Frame) (*pipeline.Result, error) {
+	res := &pipeline.Result{Method: s.Name(), Scenario: scenario}
+	entry, err := s.sys.Entry(s.pair.Model)
+	if err != nil {
+		return nil, err
+	}
+	perf, err := s.sys.Perf(s.pair.Model, s.pair.ProcID)
+	if err != nil {
+		return nil, err
+	}
+	for _, frame := range frames {
+		rec := pipeline.FrameRecord{Index: frame.Index, Pair: s.pair}
+		loadCost, err := s.dml.Ensure(s.pair)
+		if err != nil {
+			return nil, err
+		}
+		rec.LoadedModel = loadCost.Lat > 0
+		rec.LatSec += loadCost.Lat.Seconds()
+		rec.EnergyJ += loadCost.Energy
+
+		execCost, err := s.sys.SoC.Exec(s.pair.ProcID, perf.LatencySec, perf.PowerW)
+		if err != nil {
+			return nil, err
+		}
+		rec.LatSec += execCost.Lat.Seconds()
+		rec.EnergyJ += execCost.Energy
+
+		det := entry.Model.Detect(frame, s.sys.Seed)
+		rec.Found, rec.Conf, rec.IoU, rec.Box = det.Found, det.Conf, det.IoU, det.Box
+		res.Records = append(res.Records, rec)
+	}
+	return res, nil
+}
+
+// MarlinConfig tunes the Marlin baseline.
+type MarlinConfig struct {
+	// Model and ProcID fix the DNN pair (the paper runs Marlin on the GPU
+	// with YoloV7, and "Marlin Tiny" with YoloV7-Tiny).
+	Model  string
+	ProcID string
+	// Tracker configures the template tracker.
+	Tracker track.Config
+	// MotionThreshold (pixels) of tracked-box movement since the last DNN
+	// fix that triggers re-detection; drone footage moves constantly, which
+	// is why the paper's Marlin ran its DNN on most frames.
+	MotionThreshold float64
+	// MaxTrackAge is the maximum number of consecutive tracker-only frames
+	// before a mandatory DNN refresh.
+	MaxTrackAge int
+}
+
+// DefaultMarlinConfig mirrors the paper's Marlin setup (YoloV7 on GPU).
+// The motion threshold is expressed in this repo's 72-pixel frames: the
+// paper's drone videos at 640x640 see several pixels of target motion per
+// frame, which scales to fractions of a pixel here, so the trigger fires on
+// most frames of a moving target — matching Table III, where Marlin's
+// latency (0.132 s) shows its DNN running at nearly every frame.
+func DefaultMarlinConfig() MarlinConfig {
+	return MarlinConfig{
+		Model:           detmodel.YoloV7,
+		ProcID:          "gpu",
+		Tracker:         track.DefaultConfig(),
+		MotionThreshold: 0.2,
+		MaxTrackAge:     8,
+	}
+}
+
+// Marlin is the DNN+tracker alternation baseline.
+type Marlin struct {
+	sys  *zoo.System
+	cfg  MarlinConfig
+	pair zoo.Pair
+	dml  *loader.Loader
+	name string
+}
+
+// NewMarlin builds a Marlin runner.
+func NewMarlin(sys *zoo.System, cfg MarlinConfig) (*Marlin, error) {
+	pair, err := findPair(sys, cfg.Model, cfg.ProcID)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxTrackAge <= 0 {
+		return nil, fmt.Errorf("baseline: MaxTrackAge must be positive, got %d", cfg.MaxTrackAge)
+	}
+	name := "Marlin"
+	if cfg.Model == detmodel.YoloV7Tiny {
+		name = "Marlin Tiny"
+	}
+	return &Marlin{sys: sys, cfg: cfg, pair: pair, dml: loader.New(sys, loader.EvictLRR), name: name}, nil
+}
+
+// Name implements pipeline.Runner.
+func (m *Marlin) Name() string { return m.name }
+
+// Run implements pipeline.Runner.
+func (m *Marlin) Run(scenario string, frames []scene.Frame) (*pipeline.Result, error) {
+	res := &pipeline.Result{Method: m.Name(), Scenario: scenario}
+	entry, err := m.sys.Entry(m.pair.Model)
+	if err != nil {
+		return nil, err
+	}
+	perf, err := m.sys.Perf(m.pair.Model, m.pair.ProcID)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := track.New(m.cfg.Tracker)
+	if err != nil {
+		return nil, err
+	}
+
+	var lastFixX, lastFixY float64
+	trackAge := 0
+	for _, frame := range frames {
+		rec := pipeline.FrameRecord{Index: frame.Index, Pair: m.pair}
+
+		// Tracker step (CPU cost) whenever a target is held.
+		needDNN := true
+		if tr.Active() {
+			cost, err := m.sys.SoC.Exec("cpu", zoo.TrackerOverhead.LatencySec, zoo.TrackerOverhead.PowerW)
+			if err != nil {
+				return nil, err
+			}
+			rec.LatSec += cost.Lat.Seconds()
+			rec.EnergyJ += cost.Energy
+
+			box, score, ok := tr.Step(frame.Image)
+			if ok {
+				cx, cy := box.Center()
+				moved := abs(cx-lastFixX) > m.cfg.MotionThreshold ||
+					abs(cy-lastFixY) > m.cfg.MotionThreshold
+				trackAge++
+				if !moved && trackAge < m.cfg.MaxTrackAge {
+					// Tracker-only frame.
+					needDNN = false
+					rec.Found = true
+					rec.Conf = score
+					rec.IoU = box.IoU(frame.GT)
+					rec.Box = box
+				}
+			}
+		}
+
+		if needDNN {
+			loadCost, err := m.dml.Ensure(m.pair)
+			if err != nil {
+				return nil, err
+			}
+			rec.LoadedModel = loadCost.Lat > 0
+			rec.LatSec += loadCost.Lat.Seconds()
+			rec.EnergyJ += loadCost.Energy
+
+			execCost, err := m.sys.SoC.Exec(m.pair.ProcID, perf.LatencySec, perf.PowerW)
+			if err != nil {
+				return nil, err
+			}
+			rec.LatSec += execCost.Lat.Seconds()
+			rec.EnergyJ += execCost.Energy
+
+			det := entry.Model.Detect(frame, m.sys.Seed)
+			rec.Found, rec.Conf, rec.IoU, rec.Box = det.Found, det.Conf, det.IoU, det.Box
+			trackAge = 0
+			if det.Found {
+				tr.Init(frame.Image, det.Box)
+				lastFixX, lastFixY = det.Box.Center()
+			} else {
+				tr.Drop()
+			}
+		}
+		res.Records = append(res.Records, rec)
+	}
+	return res, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

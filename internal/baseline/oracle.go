@@ -1,0 +1,212 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/loader"
+	"repro/internal/pipeline"
+	"repro/internal/scene"
+	"repro/internal/zoo"
+)
+
+// OracleMetric selects which objective an Oracle optimizes.
+type OracleMetric int
+
+// The three Oracle variants of Table III.
+const (
+	// OracleEnergy minimizes per-frame energy among qualifying pairs.
+	OracleEnergy OracleMetric = iota
+	// OracleAccuracy maximizes IoU among qualifying pairs.
+	OracleAccuracy
+	// OracleLatency minimizes per-frame latency among qualifying pairs.
+	OracleLatency
+)
+
+// String names the metric as in Table III's rows.
+func (m OracleMetric) String() string {
+	switch m {
+	case OracleEnergy:
+		return "Oracle E"
+	case OracleAccuracy:
+		return "Oracle A"
+	case OracleLatency:
+		return "Oracle L"
+	default:
+		return "Oracle ?"
+	}
+}
+
+// Oracle is the paper's performance ceiling: it inspects every pair's actual
+// outcome on each frame (possible because detections are deterministic),
+// keeps the pairs whose IoU clears 0.5, and picks the metric optimum. When
+// no pair qualifies, selection falls back to pure metric optimization.
+// All models are assumed resident: switching is free and no load costs are
+// charged, exactly as the paper defines the Oracle.
+type Oracle struct {
+	sys    *zoo.System
+	metric OracleMetric
+	// candidates are deduplicated per (model, kind).
+	candidates []zoo.Pair
+	// chargeLoads switches on the load-aware variant: instead of assuming
+	// every model resident, the oracle pays real DML loads and evictions.
+	// The delta against the standard oracle quantifies how much of the
+	// ceiling comes from the paper's free-switching assumption.
+	chargeLoads bool
+	dml         *loader.Loader
+}
+
+// NewOracleWithLoads builds the load-aware oracle variant (not part of
+// Table III; used by the assumptions ablation).
+func NewOracleWithLoads(sys *zoo.System, metric OracleMetric) (*Oracle, error) {
+	o, err := NewOracle(sys, metric)
+	if err != nil {
+		return nil, err
+	}
+	o.chargeLoads = true
+	o.dml = loader.New(sys, loader.EvictLRR)
+	return o, nil
+}
+
+// NewOracle builds an Oracle for the given metric.
+func NewOracle(sys *zoo.System, metric OracleMetric) (*Oracle, error) {
+	if metric != OracleEnergy && metric != OracleAccuracy && metric != OracleLatency {
+		return nil, fmt.Errorf("baseline: unknown oracle metric %d", metric)
+	}
+	seen := map[string]bool{}
+	var cands []zoo.Pair
+	for _, p := range sys.RuntimePairs() {
+		key := p.Model + "/" + p.Kind.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		cands = append(cands, p)
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("baseline: system has no runtime pairs")
+	}
+	return &Oracle{sys: sys, metric: metric, candidates: cands}, nil
+}
+
+// Name implements pipeline.Runner.
+func (o *Oracle) Name() string {
+	if o.chargeLoads {
+		return o.metric.String() + " (loads)"
+	}
+	return o.metric.String()
+}
+
+// better reports whether challenger (with its outcome) beats incumbent under
+// the oracle's metric. Ties break toward the lexicographically smaller pair
+// string for determinism.
+func (o *Oracle) better(challenger, incumbent candidateOutcome) bool {
+	var c, i float64
+	switch o.metric {
+	case OracleEnergy:
+		c, i = -challenger.energy, -incumbent.energy
+	case OracleAccuracy:
+		c, i = challenger.iou, incumbent.iou
+	case OracleLatency:
+		c, i = -challenger.latency, -incumbent.latency
+	}
+	if c != i {
+		return c > i
+	}
+	return challenger.pair.String() < incumbent.pair.String()
+}
+
+// candidateOutcome is one pair's hypothetical result on the current frame.
+type candidateOutcome struct {
+	pair    zoo.Pair
+	found   bool
+	conf    float64
+	iou     float64
+	box     geom.Rect
+	latency float64 // expected (mean) values: the oracle plans, then executes
+	energy  float64
+}
+
+// Run implements pipeline.Runner.
+func (o *Oracle) Run(scenario string, frames []scene.Frame) (*pipeline.Result, error) {
+	res := &pipeline.Result{Method: o.Name(), Scenario: scenario}
+	var prevPair zoo.Pair
+	havePrev := false
+	for _, frame := range frames {
+		// Evaluate every candidate's actual outcome on this frame.
+		var best candidateOutcome
+		haveBest := false
+		var bestQualified candidateOutcome
+		haveQualified := false
+		for _, p := range o.candidates {
+			entry, err := o.sys.Entry(p.Model)
+			if err != nil {
+				return nil, err
+			}
+			perf := entry.PerfByKind[p.Kind]
+			det := entry.Model.Detect(frame, o.sys.Seed)
+			out := candidateOutcome{
+				pair:    p,
+				found:   det.Found,
+				conf:    det.Conf,
+				iou:     det.IoU,
+				box:     det.Box,
+				latency: perf.LatencySec,
+				energy:  perf.EnergyJ(),
+			}
+			if !haveBest || o.better(out, best) {
+				best = out
+				haveBest = true
+			}
+			if out.iou >= 0.5 {
+				if !haveQualified || o.better(out, bestQualified) {
+					bestQualified = out
+					haveQualified = true
+				}
+			}
+		}
+		choice := best
+		if haveQualified {
+			choice = bestQualified
+		}
+
+		rec := pipeline.FrameRecord{
+			Index: frame.Index,
+			Pair:  choice.pair,
+			Found: choice.found,
+			Conf:  choice.conf,
+			IoU:   choice.iou,
+			Box:   choice.box,
+		}
+		rec.Swapped = havePrev && choice.pair != prevPair
+		prevPair, havePrev = choice.pair, true
+
+		// The load-aware variant pays residency like any real deployment.
+		if o.chargeLoads {
+			loadCost, err := o.dml.Ensure(choice.pair)
+			if err != nil {
+				return nil, err
+			}
+			rec.LoadedModel = loadCost.Lat > 0
+			rec.LatSec += loadCost.Lat.Seconds()
+			rec.EnergyJ += loadCost.Energy
+		}
+
+		// Execute only the chosen pair on the virtual platform.
+		cost, err := o.sys.SoC.Exec(choice.pair.ProcID, choice.latency, choice.energy/maxf(choice.latency, 1e-9))
+		if err != nil {
+			return nil, err
+		}
+		rec.LatSec += cost.Lat.Seconds()
+		rec.EnergyJ += cost.Energy
+		res.Records = append(res.Records, rec)
+	}
+	return res, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

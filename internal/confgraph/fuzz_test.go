@@ -1,0 +1,47 @@
+package confgraph
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/profile"
+	"repro/internal/scene"
+	"repro/internal/zoo"
+)
+
+// FuzzGraphUnmarshal hardens the graph deserializer: arbitrary JSON must
+// either fail or produce a graph that answers Predict without panicking.
+// (Validate may still reject semantically corrupt graphs — that is the
+// defense cmd tools use — but mere deserialization must be safe.)
+func FuzzGraphUnmarshal(f *testing.F) {
+	sys := zoo.Default(1)
+	ch := profile.Characterize(sys, scene.ValidationSet(1, 60))
+	g, err := Build(ch, DefaultOptions())
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := json.Marshal(g)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{"buckets":10,"threshold":0.5,"nodes":[],"predictions":{}}`))
+	f.Add([]byte(`{"buckets":0}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"buckets":10,"threshold":0.5,"nodes":[{"model":"m","bucket":3,"iou_sum":1,"samples":2,"edges":{"m#4":0.5}}],"predictions":{"m#3":[{"model":"m","acc":0.5,"dist":0}]}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var back Graph
+		if err := json.Unmarshal(data, &back); err != nil {
+			return
+		}
+		// Deserialized graphs must answer queries without panicking,
+		// whatever they contain.
+		_, _ = back.Predict("m", 0.35)
+		_, _ = back.Predict("YoloV7", 0.8)
+		_ = back.NodeCount()
+		_ = back.EdgeCount()
+		_ = back.ComputeStats()
+		_ = back.Validate() // may error; must not panic
+	})
+}

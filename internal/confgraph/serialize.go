@@ -1,0 +1,135 @@
+package confgraph
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// The serialized form ships the offline artifact to the runtime device: in a
+// real deployment the confidence graph is built on a workstation from
+// validation data and loaded by the edge runtime at boot, so it must survive
+// a JSON round-trip losslessly (the prediction map is what the scheduler
+// queries; nodes and edges are kept so thresholds can be re-derived).
+
+// jsonNode is one node's serialized state.
+type jsonNode struct {
+	Model   string             `json:"model"`
+	Bucket  int                `json:"bucket"`
+	IoUSum  float64            `json:"iou_sum"`
+	Samples int                `json:"samples"`
+	Edges   map[string]float64 `json:"edges"` // "model#bucket" -> cost
+}
+
+// jsonPrediction mirrors Prediction.
+type jsonPrediction struct {
+	Model string  `json:"model"`
+	Acc   float64 `json:"acc"`
+	Dist  float64 `json:"dist"`
+}
+
+// jsonGraph is the full serialized graph.
+type jsonGraph struct {
+	Buckets     int                         `json:"buckets"`
+	Threshold   float64                     `json:"threshold"`
+	Nodes       []jsonNode                  `json:"nodes"`
+	Predictions map[string][]jsonPrediction `json:"predictions"`
+}
+
+// edgeKey flattens a NodeKey for JSON map keys.
+func edgeKey(k NodeKey) string { return fmt.Sprintf("%s#%d", k.Model, k.Bucket) }
+
+// parseEdgeKey restores a NodeKey from its flattened form.
+func parseEdgeKey(s string) (NodeKey, error) {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '#' {
+			var bucket int
+			if _, err := fmt.Sscanf(s[i+1:], "%d", &bucket); err != nil {
+				return NodeKey{}, fmt.Errorf("confgraph: malformed node key %q", s)
+			}
+			return NodeKey{Model: s[:i], Bucket: bucket}, nil
+		}
+	}
+	return NodeKey{}, fmt.Errorf("confgraph: malformed node key %q", s)
+}
+
+// MarshalJSON serializes the graph, including the precomputed prediction
+// map, in deterministic order.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	doc := jsonGraph{
+		Buckets:     g.buckets,
+		Threshold:   g.threshold,
+		Predictions: map[string][]jsonPrediction{},
+	}
+	keys := make([]NodeKey, 0, len(g.nodes))
+	for k := range g.nodes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Model != keys[j].Model {
+			return keys[i].Model < keys[j].Model
+		}
+		return keys[i].Bucket < keys[j].Bucket
+	})
+	for _, k := range keys {
+		n := g.nodes[k]
+		jn := jsonNode{
+			Model:   k.Model,
+			Bucket:  k.Bucket,
+			IoUSum:  n.iouSum,
+			Samples: n.samples,
+			Edges:   map[string]float64{},
+		}
+		for other, cost := range n.edges {
+			jn.Edges[edgeKey(other)] = cost
+		}
+		doc.Nodes = append(doc.Nodes, jn)
+	}
+	for k, preds := range g.predictions {
+		jp := make([]jsonPrediction, len(preds))
+		for i, p := range preds {
+			jp[i] = jsonPrediction(p)
+		}
+		doc.Predictions[edgeKey(k)] = jp
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalJSON restores a graph serialized by MarshalJSON.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var doc jsonGraph
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	if doc.Buckets <= 0 {
+		return fmt.Errorf("confgraph: invalid serialized bucket count %d", doc.Buckets)
+	}
+	g.buckets = doc.Buckets
+	g.threshold = doc.Threshold
+	g.nodes = map[NodeKey]*node{}
+	g.predictions = map[NodeKey][]Prediction{}
+	for _, jn := range doc.Nodes {
+		key := NodeKey{Model: jn.Model, Bucket: jn.Bucket}
+		n := &node{key: key, iouSum: jn.IoUSum, samples: jn.Samples, edges: map[NodeKey]float64{}}
+		for raw, cost := range jn.Edges {
+			other, err := parseEdgeKey(raw)
+			if err != nil {
+				return err
+			}
+			n.edges[other] = cost
+		}
+		g.nodes[key] = n
+	}
+	for raw, jp := range doc.Predictions {
+		key, err := parseEdgeKey(raw)
+		if err != nil {
+			return err
+		}
+		preds := make([]Prediction, len(jp))
+		for i, p := range jp {
+			preds[i] = Prediction(p)
+		}
+		g.predictions[key] = preds
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package confgraph
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/detmodel"
+	"repro/internal/profile"
+	"repro/internal/scene"
+	"repro/internal/zoo"
+)
+
+func TestGraphJSONRoundTrip(t *testing.T) {
+	sys := zoo.Default(1)
+	ch := profile.Characterize(sys, scene.ValidationSet(1, 300))
+	g, err := Build(ch, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.NodeCount() != g.NodeCount() || back.EdgeCount() != g.EdgeCount() {
+		t.Fatalf("structure changed: %d/%d nodes, %d/%d edges",
+			back.NodeCount(), g.NodeCount(), back.EdgeCount(), g.EdgeCount())
+	}
+	// The restored graph must answer queries identically.
+	for _, conf := range []float64{0.1, 0.35, 0.6, 0.85} {
+		pa, oka := g.Predict(detmodel.YoloV7, conf)
+		pb, okb := back.Predict(detmodel.YoloV7, conf)
+		if oka != okb || len(pa) != len(pb) {
+			t.Fatalf("prediction availability changed at conf %v", conf)
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("prediction %d differs at conf %v: %+v vs %+v", i, conf, pa[i], pb[i])
+			}
+		}
+	}
+}
+
+func TestGraphJSONDeterministic(t *testing.T) {
+	sys := zoo.Default(1)
+	ch := profile.Characterize(sys, scene.ValidationSet(1, 150))
+	g, err := Build(ch, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("serialization not byte-deterministic")
+	}
+}
+
+func TestGraphUnmarshalRejectsBadDocs(t *testing.T) {
+	var g Graph
+	if err := json.Unmarshal([]byte(`{"buckets":0}`), &g); err == nil {
+		t.Fatal("zero buckets should fail")
+	}
+	bad := `{"buckets":10,"threshold":0.5,"nodes":[{"model":"m","bucket":1,"edges":{"nokey":0.5}}],"predictions":{}}`
+	if err := json.Unmarshal([]byte(bad), &g); err == nil {
+		t.Fatal("malformed edge key should fail")
+	}
+	badPred := `{"buckets":10,"threshold":0.5,"nodes":[],"predictions":{"oops":[]}}`
+	if err := json.Unmarshal([]byte(badPred), &g); err == nil {
+		t.Fatal("malformed prediction key should fail")
+	}
+}
+
+func TestParseEdgeKey(t *testing.T) {
+	k, err := parseEdgeKey("YoloV7-Tiny#3")
+	if err != nil || k.Model != "YoloV7-Tiny" || k.Bucket != 3 {
+		t.Fatalf("parseEdgeKey: %+v %v", k, err)
+	}
+	// Model names may contain '#'? They do not, but the parser splits on
+	// the last '#', so even that would round-trip.
+	k2, err := parseEdgeKey("a#b#7")
+	if err != nil || k2.Model != "a#b" || k2.Bucket != 7 {
+		t.Fatalf("parseEdgeKey last-hash: %+v %v", k2, err)
+	}
+	if _, err := parseEdgeKey("nohash"); err == nil {
+		t.Fatal("missing separator should fail")
+	}
+	if _, err := parseEdgeKey("m#notanum"); err == nil {
+		t.Fatal("non-numeric bucket should fail")
+	}
+}

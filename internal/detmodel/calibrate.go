@@ -1,0 +1,101 @@
+package detmodel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/scene"
+)
+
+// FitMid solves for the sigmoid midpoint that makes a model's expected IoU
+// over the given difficulty distribution equal targetIoU. It is how this
+// repo's zoo was calibrated against Table IV's accuracy column, and how a
+// user adds a model knowing only its benchmark accuracy: sample the
+// difficulties of the intended deployment, pick slope/top, and fit.
+//
+// The expectation is monotone decreasing in Mid's negation — higher Mid
+// (more robust) raises accuracy — so bisection on Mid converges. An error is
+// returned when the target is unreachable for the given Top (e.g. asking for
+// 0.95 mean IoU from a 0.93-peak model).
+func FitMid(targetIoU, top, slope float64, difficulties []float64) (float64, error) {
+	if len(difficulties) == 0 {
+		return 0, fmt.Errorf("detmodel: FitMid needs difficulty samples")
+	}
+	if targetIoU <= 0 || top <= 0 || slope <= 0 {
+		return 0, fmt.Errorf("detmodel: FitMid parameters must be positive (target %v, top %v, slope %v)",
+			targetIoU, top, slope)
+	}
+	expected := func(mid float64) float64 {
+		m := Model{Top: top, Mid: mid, Slope: slope}
+		var sum float64
+		for _, d := range difficulties {
+			sum += m.ExpectedIoU(d)
+		}
+		return sum / float64(len(difficulties))
+	}
+	const lo, hi = -1.0, 3.0
+	if expected(hi) < targetIoU {
+		return 0, fmt.Errorf("detmodel: target IoU %v unreachable (max %v at mid %v)",
+			targetIoU, expected(hi), hi)
+	}
+	if expected(lo) > targetIoU {
+		return 0, fmt.Errorf("detmodel: target IoU %v below the model floor %v",
+			targetIoU, expected(lo))
+	}
+	a, b := lo, hi
+	for i := 0; i < 60; i++ {
+		mid := (a + b) / 2
+		if expected(mid) < targetIoU {
+			a = mid
+		} else {
+			b = mid
+		}
+	}
+	return (a + b) / 2, nil
+}
+
+// DifficultySamples extracts the latent difficulty of every frame — the
+// distribution FitMid calibrates against. Sorted ascending for stable
+// summaries.
+func DifficultySamples(frames []scene.Frame) []float64 {
+	out := make([]float64, 0, len(frames))
+	for _, f := range frames {
+		out = append(out, f.Ctx.Difficulty())
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// NewCalibrated builds a model whose mean IoU over the sampled difficulties
+// is targetIoU, using the zoo's default shape parameters and the family's
+// confidence calibration.
+func NewCalibrated(name string, fam Family, targetIoU float64, difficulties []float64) (*Model, error) {
+	// Mid and slope are coupled (weaker models fall off more sharply), so
+	// fit by fixpoint iteration: fit mid at the current slope, update the
+	// slope from the new mid, repeat. Converges in a few rounds because the
+	// slope correction shifts the expectation only mildly.
+	mid := refMid
+	var err error
+	for i := 0; i < 4; i++ {
+		slope := defaultSlope + (refMid-mid)*slopePerMid
+		mid, err = FitMid(targetIoU, defaultTop, slope, difficulties)
+		if err != nil {
+			return nil, err
+		}
+	}
+	m := &Model{
+		Name:     name,
+		Family:   fam,
+		Top:      defaultTop,
+		Mid:      mid,
+		Slope:    defaultSlope + (refMid-mid)*slopePerMid,
+		NoiseStd: defaultNoise,
+		MissIoU:  defaultMiss,
+		FPBase:   defaultFPBase,
+	}
+	if fam == FamilySSD {
+		m.NoiseStd += ssdExtraNoise
+		m.FPBase *= ssdFPBaseFactor
+	}
+	return m, nil
+}

@@ -1,0 +1,123 @@
+package detmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/scene"
+)
+
+func difficulties(t *testing.T) []float64 {
+	t.Helper()
+	return DifficultySamples(scene.ValidationSet(1, 400))
+}
+
+func TestFitMidHitsTarget(t *testing.T) {
+	ds := difficulties(t)
+	for _, target := range []float64{0.3, 0.45, 0.6, 0.7} {
+		mid, err := FitMid(target, 0.93, 6.0, ds)
+		if err != nil {
+			t.Fatalf("target %v: %v", target, err)
+		}
+		m := Model{Top: 0.93, Mid: mid, Slope: 6.0}
+		var sum float64
+		for _, d := range ds {
+			sum += m.ExpectedIoU(d)
+		}
+		got := sum / float64(len(ds))
+		if math.Abs(got-target) > 1e-6 {
+			t.Fatalf("target %v: fitted expectation %v", target, got)
+		}
+	}
+}
+
+func TestFitMidMonotoneInTarget(t *testing.T) {
+	ds := difficulties(t)
+	prev := math.Inf(-1)
+	for _, target := range []float64{0.3, 0.45, 0.6, 0.7} {
+		mid, err := FitMid(target, 0.93, 6.0, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mid <= prev {
+			t.Fatalf("mid not increasing with target: %v after %v", mid, prev)
+		}
+		prev = mid
+	}
+}
+
+func TestFitMidErrors(t *testing.T) {
+	ds := difficulties(t)
+	if _, err := FitMid(0.95, 0.93, 6.0, ds); err == nil {
+		t.Fatal("unreachable target should fail")
+	}
+	if _, err := FitMid(0.5, 0.93, 6.0, nil); err == nil {
+		t.Fatal("no samples should fail")
+	}
+	if _, err := FitMid(-1, 0.93, 6.0, ds); err == nil {
+		t.Fatal("negative target should fail")
+	}
+	if _, err := FitMid(0.5, 0, 6.0, ds); err == nil {
+		t.Fatal("zero top should fail")
+	}
+}
+
+func TestDifficultySamplesSorted(t *testing.T) {
+	ds := difficulties(t)
+	if len(ds) != 400 {
+		t.Fatalf("%d samples", len(ds))
+	}
+	for i := 1; i < len(ds); i++ {
+		if ds[i] < ds[i-1] {
+			t.Fatal("samples not sorted")
+		}
+		if ds[i] < 0 || ds[i] > 1 {
+			t.Fatalf("difficulty out of range: %v", ds[i])
+		}
+	}
+}
+
+func TestNewCalibratedMatchesMeasuredAccuracy(t *testing.T) {
+	// End-to-end: a model calibrated to 0.55 mean IoU must measure close to
+	// 0.55 when actually run over the frames (noise and misses shift it
+	// slightly downward).
+	frames := scene.ValidationSet(1, 400)
+	ds := DifficultySamples(frames)
+	m, err := NewCalibrated("custom", FamilyYOLO, 0.55, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, f := range frames {
+		sum += m.Detect(f, 1).IoU
+	}
+	got := sum / float64(len(frames))
+	if math.Abs(got-0.55) > 0.08 {
+		t.Fatalf("calibrated model measures %.3f, want ~0.55", got)
+	}
+}
+
+func TestNewCalibratedSSDFamilyTraits(t *testing.T) {
+	ds := difficulties(t)
+	m, err := NewCalibrated("custom-ssd", FamilySSD, 0.45, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Family != FamilySSD {
+		t.Fatal("family lost")
+	}
+	yolo, err := NewCalibrated("custom-yolo", FamilyYOLO, 0.45, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NoiseStd <= yolo.NoiseStd || m.FPBase <= yolo.FPBase {
+		t.Fatal("SSD family adjustments not applied")
+	}
+}
+
+func TestNewCalibratedUnreachable(t *testing.T) {
+	ds := difficulties(t)
+	if _, err := NewCalibrated("x", FamilyYOLO, 0.99, ds); err == nil {
+		t.Fatal("unreachable calibration should fail")
+	}
+}

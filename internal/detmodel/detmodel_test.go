@@ -1,0 +1,272 @@
+package detmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/img"
+	"repro/internal/rng"
+	"repro/internal/scene"
+)
+
+func zooMap() map[string]*Model { return ZooByName(DefaultZoo()) }
+
+func easyFrame(i int) scene.Frame {
+	ctx := scene.Context{Present: true, Distance: 0.1, Contrast: 0.95, Clutter: 0.05, Texture: img.TextureFlat}
+	return scene.RenderSingle(i, ctx, rng.New(uint64(i)).Fork("easy"))
+}
+
+func hardFrame(i int) scene.Frame {
+	ctx := scene.Context{Present: true, Distance: 0.95, Contrast: 0.25, Clutter: 0.7, Texture: img.TextureFoliage}
+	return scene.RenderSingle(i, ctx, rng.New(uint64(i)).Fork("hard"))
+}
+
+func absentFrame(i int) scene.Frame {
+	ctx := scene.Context{Present: false, Texture: img.TextureClouds, Clutter: 0.4}
+	return scene.RenderSingle(i, ctx, rng.New(uint64(i)).Fork("absent"))
+}
+
+func TestDefaultZooComplete(t *testing.T) {
+	zoo := DefaultZoo()
+	if len(zoo) != 8 {
+		t.Fatalf("zoo has %d models, want 8 (Table IV)", len(zoo))
+	}
+	names := map[string]bool{}
+	for _, m := range zoo {
+		if names[m.Name] {
+			t.Fatalf("duplicate model %q", m.Name)
+		}
+		names[m.Name] = true
+	}
+	for _, want := range []string{YoloV7, YoloV7Tiny, YoloV7X, YoloV7E6E,
+		SSDResnet50, SSDMobilenetV1, SSDMobilenetV2, SSDMobilenet320} {
+		if !names[want] {
+			t.Fatalf("zoo missing %q", want)
+		}
+	}
+}
+
+func TestFind(t *testing.T) {
+	zoo := DefaultZoo()
+	m, err := Find(zoo, YoloV7)
+	if err != nil || m.Name != YoloV7 {
+		t.Fatalf("Find(YoloV7) = %v, %v", m, err)
+	}
+	if _, err := Find(zoo, "nope"); err == nil {
+		t.Fatal("Find should fail for unknown model")
+	}
+}
+
+func TestExpectedIoUMonotoneDecreasing(t *testing.T) {
+	for _, m := range DefaultZoo() {
+		prev := math.Inf(1)
+		for d := 0.0; d <= 1.0; d += 0.05 {
+			v := m.ExpectedIoU(d)
+			if v > prev {
+				t.Fatalf("%s: ExpectedIoU not monotone at d=%v", m.Name, d)
+			}
+			if v < 0 || v > 1 {
+				t.Fatalf("%s: ExpectedIoU out of range: %v", m.Name, v)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestModelsConvergeOnEasyFrames(t *testing.T) {
+	// Paper §I: on close, contrasted targets, simple and advanced models
+	// perform equally well. At difficulty ~0.1 every model should be within
+	// 10% of the best.
+	zoo := DefaultZoo()
+	best, worst := 0.0, 1.0
+	for _, m := range zoo {
+		v := m.ExpectedIoU(0.08)
+		if v > best {
+			best = v
+		}
+		if v < worst {
+			worst = v
+		}
+	}
+	if best-worst > 0.12 {
+		t.Fatalf("models too spread on easy frames: best %v worst %v", best, worst)
+	}
+}
+
+func TestModelsSeparateOnMediumFrames(t *testing.T) {
+	z := zooMap()
+	big := z[YoloV7].ExpectedIoU(0.55)
+	small := z[SSDMobilenet320].ExpectedIoU(0.55)
+	if big-small < 0.25 {
+		t.Fatalf("models insufficiently separated at medium difficulty: %v vs %v", big, small)
+	}
+}
+
+func TestTableIVOrderingOfRobustness(t *testing.T) {
+	// The calibrated Mid values must preserve Table IV's accuracy ordering.
+	z := zooMap()
+	order := []string{YoloV7, YoloV7X, YoloV7E6E, YoloV7Tiny,
+		SSDResnet50, SSDMobilenetV1, SSDMobilenetV2, SSDMobilenet320}
+	for i := 1; i < len(order); i++ {
+		if z[order[i]].Mid >= z[order[i-1]].Mid {
+			t.Fatalf("Mid ordering violated: %s (%v) >= %s (%v)",
+				order[i], z[order[i]].Mid, order[i-1], z[order[i-1]].Mid)
+		}
+	}
+}
+
+func TestDetectDeterministicPerFrame(t *testing.T) {
+	m := zooMap()[YoloV7]
+	f := easyFrame(3)
+	a := m.Detect(f, 42)
+	b := m.Detect(f, 42)
+	if a != b {
+		t.Fatalf("Detect not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestDetectSeedSensitivity(t *testing.T) {
+	m := zooMap()[YoloV7]
+	f := hardFrame(3)
+	a := m.Detect(f, 1)
+	b := m.Detect(f, 2)
+	if a == b {
+		t.Fatal("different seeds gave identical detections on a noisy frame")
+	}
+}
+
+func TestDetectEasyFrameQuality(t *testing.T) {
+	m := zooMap()[YoloV7]
+	found, iouSum := 0, 0.0
+	for i := 0; i < 100; i++ {
+		det := m.Detect(easyFrame(i), 7)
+		if det.Found {
+			found++
+			iouSum += det.IoU
+		}
+	}
+	if found < 95 {
+		t.Fatalf("YoloV7 found only %d/100 easy targets", found)
+	}
+	if avg := iouSum / float64(found); avg < 0.75 {
+		t.Fatalf("YoloV7 easy-frame IoU %v, want > 0.75", avg)
+	}
+}
+
+func TestDetectHardFrameDegradation(t *testing.T) {
+	weak := zooMap()[SSDMobilenet320]
+	strong := zooMap()[YoloV7]
+	weakIoU, strongIoU := 0.0, 0.0
+	for i := 0; i < 200; i++ {
+		f := hardFrame(i)
+		weakIoU += weak.Detect(f, 7).IoU
+		strongIoU += strong.Detect(f, 7).IoU
+	}
+	if weakIoU >= strongIoU {
+		t.Fatalf("weak model outperformed strong on hard frames: %v vs %v", weakIoU/200, strongIoU/200)
+	}
+}
+
+func TestDetectAbsentTarget(t *testing.T) {
+	m := zooMap()[SSDMobilenetV2]
+	found := 0
+	for i := 0; i < 300; i++ {
+		det := m.Detect(absentFrame(i), 7)
+		if det.Found {
+			found++
+			if det.IoU != 0 {
+				t.Fatalf("false positive has non-zero IoU: %+v", det)
+			}
+			if det.Conf <= 0 {
+				t.Fatal("false positive with zero confidence")
+			}
+		} else if det.Conf != 0 || !det.Box.Empty() {
+			t.Fatalf("miss should be zero-valued: %+v", det)
+		}
+	}
+	// False positives must exist but be rare.
+	if found == 0 {
+		t.Fatal("no false positives in 300 absent frames; FP path untested")
+	}
+	if found > 60 {
+		t.Fatalf("too many false positives: %d/300", found)
+	}
+}
+
+func TestDetectBoxMatchesReportedIoU(t *testing.T) {
+	// Detection.IoU must be the true overlap of the emitted box with GT.
+	m := zooMap()[YoloV7X]
+	for i := 0; i < 50; i++ {
+		f := easyFrame(i)
+		det := m.Detect(f, 11)
+		if !det.Found {
+			continue
+		}
+		if got := det.Box.IoU(f.GT); math.Abs(got-det.IoU) > 1e-9 {
+			t.Fatalf("reported IoU %v != actual %v", det.IoU, got)
+		}
+	}
+}
+
+func TestConfidenceFamilyCalibration(t *testing.T) {
+	// At equal IoU, SSD must report systematically higher confidence than
+	// YOLO — the miscalibration that motivates the confidence graph.
+	r := rng.New(5)
+	yolo := &Model{Family: FamilyYOLO}
+	ssd := &Model{Family: FamilySSD}
+	ySum, sSum := 0.0, 0.0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		ySum += yolo.confFromIoU(0.4, r)
+		sSum += ssd.confFromIoU(0.4, r)
+	}
+	if sSum/n <= ySum/n+0.1 {
+		t.Fatalf("SSD not overconfident vs YOLO: %v vs %v", sSum/n, ySum/n)
+	}
+}
+
+func TestConfidenceCorrelatesWithIoU(t *testing.T) {
+	m := zooMap()[YoloV7]
+	// Sweep difficulty; confidence should fall as IoU falls.
+	var loConf, hiConf float64
+	nLo, nHi := 0, 0
+	for i := 0; i < 100; i++ {
+		if det := m.Detect(easyFrame(i), 3); det.Found {
+			hiConf += det.Conf
+			nHi++
+		}
+		if det := m.Detect(hardFrame(i), 3); det.Found {
+			loConf += det.Conf
+			nLo++
+		}
+	}
+	if nHi == 0 {
+		t.Fatal("no easy detections")
+	}
+	if nLo > 0 && loConf/float64(nLo) >= hiConf/float64(nHi) {
+		t.Fatalf("confidence not correlated with context: hard %v >= easy %v",
+			loConf/float64(nLo), hiConf/float64(nHi))
+	}
+}
+
+func TestFamilyString(t *testing.T) {
+	if FamilyYOLO.String() != "yolo" || FamilySSD.String() != "ssd" || Family(9).String() != "unknown" {
+		t.Fatal("Family.String mismatch")
+	}
+}
+
+func TestZooByName(t *testing.T) {
+	z := zooMap()
+	if len(z) != 8 || z[YoloV7] == nil {
+		t.Fatalf("ZooByName incomplete: %d entries", len(z))
+	}
+}
+
+func BenchmarkDetect(b *testing.B) {
+	m := zooMap()[YoloV7]
+	f := easyFrame(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = m.Detect(f, 42)
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/confgraph"
+	"repro/internal/detmodel"
+	"repro/internal/profile"
+	"repro/internal/scene"
+	"repro/internal/zoo"
+)
+
+// GraphQualityPoint measures prediction quality for one validation-set size.
+type GraphQualityPoint struct {
+	ValidationFrames int
+	// MAE is the mean absolute error of cross-model accuracy prediction on
+	// held-out frames (predicting YoloV7-Tiny's IoU from YoloV7's
+	// confidence).
+	MAE float64
+	// NaiveMAE is the error of always predicting the global average — the
+	// baseline the graph must beat to be useful.
+	NaiveMAE float64
+	// Coverage is the prediction-map fill fraction.
+	Coverage float64
+}
+
+// GraphQualityResult holds the data-efficiency curve of the confidence
+// graph: how much offline characterization data SHIFT needs before its
+// predictions beat a global-average baseline. The paper uses a 2,500-image
+// validation split; this experiment shows the returns of smaller splits.
+type GraphQualityResult struct {
+	Points []GraphQualityPoint
+}
+
+// GraphQuality evaluates graphs built from increasing validation-set sizes
+// against a fixed held-out set.
+func GraphQuality(seed uint64, sizes []int, holdoutFrames int) (*GraphQualityResult, error) {
+	if sizes == nil {
+		sizes = []int{25, 50, 100, 200, 400, 800}
+	}
+	sys := zoo.Default(seed)
+	holdout := scene.ValidationSet(seed+1000, holdoutFrames)
+	v7, err := sys.Entry(detmodel.YoloV7)
+	if err != nil {
+		return nil, err
+	}
+	tiny, err := sys.Entry(detmodel.YoloV7Tiny)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &GraphQualityResult{}
+	for _, n := range sizes {
+		ch := profile.Characterize(sys, scene.ValidationSet(seed, n))
+		g, err := confgraph.Build(ch, confgraph.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		pt := GraphQualityPoint{ValidationFrames: n, Coverage: g.ComputeStats().Coverage}
+		globalAvg := ch.ByModel[detmodel.YoloV7Tiny].AvgIoU
+		count := 0
+		for _, f := range holdout {
+			dv7 := v7.Model.Detect(f, sys.Seed)
+			dtiny := tiny.Model.Detect(f, sys.Seed)
+			if !dv7.Found {
+				continue
+			}
+			preds, ok := g.Predict(detmodel.YoloV7, dv7.Conf)
+			if !ok {
+				continue
+			}
+			for _, p := range preds {
+				if p.Model == detmodel.YoloV7Tiny {
+					pt.MAE += math.Abs(p.Acc - dtiny.IoU)
+					pt.NaiveMAE += math.Abs(globalAvg - dtiny.IoU)
+					count++
+				}
+			}
+		}
+		if count > 0 {
+			pt.MAE /= float64(count)
+			pt.NaiveMAE /= float64(count)
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// Report renders the data-efficiency curve.
+func (r *GraphQualityResult) Report() string {
+	var b strings.Builder
+	b.WriteString("Confidence-graph data efficiency (cross-model prediction MAE, held-out frames):\n")
+	fmt.Fprintf(&b, "%10s %10s %12s %10s\n", "val-frames", "graph MAE", "naive MAE", "coverage")
+	for _, p := range r.Points {
+		marker := ""
+		if p.MAE < p.NaiveMAE {
+			marker = "  <- beats naive"
+		}
+		fmt.Fprintf(&b, "%10d %10.3f %12.3f %9.0f%%%s\n",
+			p.ValidationFrames, p.MAE, p.NaiveMAE, p.Coverage*100, marker)
+	}
+	return b.String()
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGraphQualityCurve(t *testing.T) {
+	res, err := GraphQuality(1, []int{50, 200, 600}, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	// With enough data the graph must beat the naive global-average
+	// predictor (the property that justifies its existence).
+	last := res.Points[len(res.Points)-1]
+	if last.MAE >= last.NaiveMAE {
+		t.Fatalf("graph (MAE %.3f) no better than naive (%.3f) at %d frames",
+			last.MAE, last.NaiveMAE, last.ValidationFrames)
+	}
+	// Quality improves (or at least does not collapse) with more data.
+	first := res.Points[0]
+	if last.MAE > first.MAE*1.2 {
+		t.Fatalf("MAE degraded with more data: %.3f (n=%d) -> %.3f (n=%d)",
+			first.MAE, first.ValidationFrames, last.MAE, last.ValidationFrames)
+	}
+	for _, p := range res.Points {
+		if p.Coverage < 0 || p.Coverage > 1 {
+			t.Fatalf("coverage out of range: %+v", p)
+		}
+	}
+	if out := res.Report(); !strings.Contains(out, "data efficiency") {
+		t.Fatalf("report: %q", out)
+	}
+}
+
+func TestGraphQualityDeterministic(t *testing.T) {
+	a, err := GraphQuality(1, []int{100}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GraphQuality(1, []int{100}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Points[0] != b.Points[0] {
+		t.Fatal("graph quality not deterministic")
+	}
+}

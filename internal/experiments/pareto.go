@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// dominates reports whether a is at least as good as b on all three
+// objectives (higher IoU, lower time, lower energy) and strictly better on
+// at least one.
+func dominates(a, b SweepPoint) bool {
+	if a.MeanIoU < b.MeanIoU || a.MeanTimeSec > b.MeanTimeSec || a.MeanEnergyJ > b.MeanEnergyJ {
+		return false
+	}
+	return a.MeanIoU > b.MeanIoU || a.MeanTimeSec < b.MeanTimeSec || a.MeanEnergyJ < b.MeanEnergyJ
+}
+
+// ParetoFront returns the non-dominated subset of sweep points under the
+// three-way objective (maximize accuracy, minimize time and energy), sorted
+// by descending accuracy. This extends the paper's sensitivity analysis into
+// an operating-point catalogue: a deployment should only ever run a
+// configuration on this front.
+func ParetoFront(points []SweepPoint) []SweepPoint {
+	var front []SweepPoint
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			if dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		if front[i].MeanIoU != front[j].MeanIoU {
+			return front[i].MeanIoU > front[j].MeanIoU
+		}
+		if front[i].MeanEnergyJ != front[j].MeanEnergyJ {
+			return front[i].MeanEnergyJ < front[j].MeanEnergyJ
+		}
+		return front[i].MeanTimeSec < front[j].MeanTimeSec
+	})
+	return dedupePoints(front)
+}
+
+// dedupePoints drops configurations with identical outcomes (distinct knob
+// settings frequently collapse onto one schedule).
+func dedupePoints(points []SweepPoint) []SweepPoint {
+	var out []SweepPoint
+	seen := map[string]bool{}
+	for _, p := range points {
+		key := fmt.Sprintf("%.6f/%.6f/%.6f", p.MeanIoU, p.MeanTimeSec, p.MeanEnergyJ)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+// ParetoReport renders the operating-point catalogue.
+func ParetoReport(points []SweepPoint) string {
+	front := ParetoFront(points)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Pareto front: %d of %d configurations are non-dominated\n",
+		len(front), len(points))
+	fmt.Fprintf(&b, "%10s %10s %12s   knobs(acc,en,lat) thr mom dist\n", "IoU", "time (s)", "energy (J)")
+	for _, p := range front {
+		fmt.Fprintf(&b, "%10.3f %10.4f %12.3f   (%.2f,%.2f,%.2f) %.2f %d %.2f\n",
+			p.MeanIoU, p.MeanTimeSec, p.MeanEnergyJ,
+			p.AccKnob, p.EnergyKnob, p.LatencyKnob, p.AccThreshold, p.Momentum, p.DistThreshold)
+	}
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func pt(iou, time, energy float64) SweepPoint {
+	return SweepPoint{MeanIoU: iou, MeanTimeSec: time, MeanEnergyJ: energy}
+}
+
+func TestDominates(t *testing.T) {
+	a := pt(0.6, 0.05, 0.3)
+	cases := []struct {
+		b    SweepPoint
+		want bool
+	}{
+		{pt(0.5, 0.06, 0.4), true},  // worse on all
+		{pt(0.6, 0.05, 0.3), false}, // equal: no strict improvement
+		{pt(0.7, 0.04, 0.2), false}, // better on all: a cannot dominate
+		{pt(0.7, 0.06, 0.4), false}, // trade-off
+		{pt(0.6, 0.06, 0.3), true},  // equal IoU/energy, slower
+	}
+	for i, c := range cases {
+		if got := dominates(a, c.b); got != c.want {
+			t.Errorf("case %d: dominates = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestParetoFrontProperties(t *testing.T) {
+	points := []SweepPoint{
+		pt(0.7, 0.10, 1.0), // accurate but costly — on the front
+		pt(0.5, 0.03, 0.2), // frugal — on the front
+		pt(0.6, 0.05, 0.5), // middle trade-off — on the front
+		pt(0.5, 0.05, 0.5), // dominated by the middle point
+		pt(0.4, 0.12, 1.2), // dominated by everything
+	}
+	front := ParetoFront(points)
+	if len(front) != 3 {
+		t.Fatalf("front size %d, want 3: %+v", len(front), front)
+	}
+	// No front member may dominate another.
+	for i := range front {
+		for j := range front {
+			if i != j && dominates(front[i], front[j]) {
+				t.Fatalf("front member %d dominates %d", i, j)
+			}
+		}
+	}
+	// Sorted by descending accuracy.
+	for i := 1; i < len(front); i++ {
+		if front[i].MeanIoU > front[i-1].MeanIoU {
+			t.Fatal("front not sorted by accuracy")
+		}
+	}
+	// Every dropped point is dominated by some front member.
+	for _, p := range points {
+		onFront := false
+		for _, f := range front {
+			if f == p {
+				onFront = true
+			}
+		}
+		if onFront {
+			continue
+		}
+		coveredBy := false
+		for _, f := range front {
+			if dominates(f, p) {
+				coveredBy = true
+			}
+		}
+		if !coveredBy {
+			t.Fatalf("dropped point %+v not dominated by any front member", p)
+		}
+	}
+}
+
+func TestParetoFrontDedupes(t *testing.T) {
+	points := []SweepPoint{
+		{AccKnob: 1, MeanIoU: 0.5, MeanTimeSec: 0.05, MeanEnergyJ: 0.3},
+		{AccKnob: 2, MeanIoU: 0.5, MeanTimeSec: 0.05, MeanEnergyJ: 0.3},
+	}
+	if got := len(ParetoFront(points)); got != 1 {
+		t.Fatalf("duplicate outcomes kept: %d", got)
+	}
+}
+
+func TestParetoFrontEmptyAndSingle(t *testing.T) {
+	if got := ParetoFront(nil); len(got) != 0 {
+		t.Fatal("empty input should give empty front")
+	}
+	one := []SweepPoint{pt(0.5, 0.1, 0.5)}
+	if got := ParetoFront(one); len(got) != 1 {
+		t.Fatal("single point must be on the front")
+	}
+}
+
+func TestParetoReport(t *testing.T) {
+	out := ParetoReport([]SweepPoint{pt(0.6, 0.05, 0.3), pt(0.4, 0.09, 0.9)})
+	if !strings.Contains(out, "Pareto front: 1 of 2") {
+		t.Fatalf("report: %q", out)
+	}
+}
+
+func TestParetoOnRealSweep(t *testing.T) {
+	env := testEnv(t)
+	cfg := QuickSweepConfig()
+	res, err := Figure5(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := ParetoFront(res.Points)
+	if len(front) == 0 || len(front) > len(res.Points) {
+		t.Fatalf("degenerate front: %d of %d", len(front), len(res.Points))
+	}
+}

@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComparisonReportComplete(t *testing.T) {
+	env := testEnv(t)
+	out, err := ComparisonReport(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Table III", "Table IV", "Headline vs YoloV7@GPU",
+		"SHIFT", "Marlin", "Oracle E", "Oracle A", "Oracle L",
+		"deadline extension",
+		"YoloV7-E6E", "SSD-MobilenetV2-320",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Every paper row renders a "paper -> measured" pair.
+	if strings.Count(out, "→") < 20 {
+		t.Fatalf("report has too few comparison cells:\n%s", out)
+	}
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/scene"
+)
+
+func TestSkipComparisonShapes(t *testing.T) {
+	env := testEnv(t)
+	res, err := SkipComparison(env, []*scene.Scenario{scene.Scenario2()}, []int{1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SkipPoints) != 3 {
+		t.Fatalf("%d skip points", len(res.SkipPoints))
+	}
+	// Energy decreases monotonically with the skip factor.
+	for i := 1; i < len(res.SkipPoints); i++ {
+		if res.SkipPoints[i].Summary.AvgEnergyJ >= res.SkipPoints[i-1].Summary.AvgEnergyJ {
+			t.Fatalf("energy not decreasing with skip: %+v", res.SkipPoints)
+		}
+	}
+	// Accuracy decreases with the skip factor.
+	if res.SkipPoints[2].Summary.AvgIoU >= res.SkipPoints[0].Summary.AvgIoU {
+		t.Fatal("accuracy not decreasing with skip")
+	}
+	// The paper's conclusion: at matched energy SHIFT delivers at least the
+	// skipping baseline's accuracy.
+	closest := res.ClosestSkipByEnergy()
+	if res.SHIFT.AvgIoU < closest.Summary.AvgIoU*0.95 {
+		t.Fatalf("SHIFT IoU %.3f clearly below iso-energy skip=%d IoU %.3f",
+			res.SHIFT.AvgIoU, closest.Skip, closest.Summary.AvgIoU)
+	}
+	report := res.Report()
+	if !strings.Contains(report, "SHIFT") || !strings.Contains(report, "skip=") {
+		t.Fatalf("report incomplete:\n%s", report)
+	}
+}
+
+func TestSkipComparisonFastManeuver(t *testing.T) {
+	// On fast target motion, stale boxes stop overlapping: SHIFT must beat
+	// the iso-energy skipping configuration decisively — the regime where
+	// the paper's "no skipping" claim bites.
+	env := testEnv(t)
+	res, err := SkipComparison(env, []*scene.Scenario{scene.ScenarioFastManeuver()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closest := res.ClosestSkipByEnergy()
+	if res.SHIFT.AvgIoU < closest.Summary.AvgIoU*1.2 {
+		t.Fatalf("SHIFT IoU %.3f not clearly above iso-energy skip=%d IoU %.3f on fast motion",
+			res.SHIFT.AvgIoU, closest.Skip, closest.Summary.AvgIoU)
+	}
+}

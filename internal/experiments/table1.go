@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/detmodel"
+	"repro/internal/scene"
+	"repro/internal/textplot"
+)
+
+// TableICell is one (model, processor-kind) measurement of Table I.
+type TableICell struct {
+	Supported  bool
+	TimeSec    float64
+	PowerW     float64
+	EnergyJ    float64
+	Executions int
+}
+
+// TableIRow is one model row of Table I.
+type TableIRow struct {
+	Model  string
+	AvgIoU float64
+	Cells  map[accel.Kind]TableICell
+}
+
+// TableIResult holds the reproduced Table I.
+type TableIResult struct {
+	Rows []TableIRow
+}
+
+// tableIModels are the three architectures the paper measures in Table I.
+var tableIModels = []string{detmodel.YoloV7, detmodel.YoloV7Tiny, detmodel.SSDMobilenetV1}
+
+// tableIKinds are the three processors of Table I's columns.
+var tableIKinds = []accel.Kind{accel.KindCPU, accel.KindGPU, accel.KindDLA}
+
+// TableI reproduces Table I: average IoU plus inference time, power and
+// energy for YoloV7, YoloV7-Tiny and (SSD-)MobilenetV1 on CPU, GPU and DLA.
+// Behavioural accuracy is measured over nFrames validation frames; execution
+// statistics are measured by running each supported (model, kind) nExec
+// times on a fresh platform.
+func TableI(env *Env, nFrames, nExec int) (*TableIResult, error) {
+	res := &TableIResult{}
+	frames := scene.ValidationSet(env.Seed, nFrames)
+	for _, name := range tableIModels {
+		sys := env.System()
+		entry, err := sys.Entry(name)
+		if err != nil {
+			return nil, err
+		}
+		row := TableIRow{Model: name, Cells: map[accel.Kind]TableICell{}}
+		var iouSum float64
+		for _, f := range frames {
+			iouSum += entry.Model.Detect(f, sys.Seed).IoU
+		}
+		if nFrames > 0 {
+			row.AvgIoU = iouSum / float64(nFrames)
+		}
+		for _, kind := range tableIKinds {
+			if !entry.Supports(kind) {
+				row.Cells[kind] = TableICell{}
+				continue
+			}
+			perf := entry.PerfByKind[kind]
+			procID := sys.SoC.ProcIDsByKind(kind)[0]
+			cell := TableICell{Supported: true, Executions: nExec}
+			for i := 0; i < nExec; i++ {
+				cost, err := sys.SoC.Exec(procID, perf.LatencySec, perf.PowerW)
+				if err != nil {
+					return nil, err
+				}
+				cell.TimeSec += cost.Lat.Seconds()
+				cell.PowerW += cost.PowerW
+				cell.EnergyJ += cost.Energy
+			}
+			if nExec > 0 {
+				cell.TimeSec /= float64(nExec)
+				cell.PowerW /= float64(nExec)
+				cell.EnergyJ /= float64(nExec)
+			}
+			row.Cells[kind] = cell
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Report renders the result in the paper's Table I layout.
+func (r *TableIResult) Report() string {
+	rows := [][]string{{"Model", "IoU",
+		"t CPU(s)", "t GPU(s)", "t DLA(s)",
+		"P CPU(W)", "P GPU(W)", "P DLA(W)",
+		"E CPU(J)", "E GPU(J)", "E DLA(J)"}}
+	fmtCell := func(c TableICell, f func(TableICell) float64) string {
+		if !c.Supported {
+			return "-"
+		}
+		return fmt.Sprintf("%.3f", f(c))
+	}
+	for _, row := range r.Rows {
+		line := []string{row.Model, fmt.Sprintf("%.2f", row.AvgIoU)}
+		for _, get := range []func(TableICell) float64{
+			func(c TableICell) float64 { return c.TimeSec },
+			func(c TableICell) float64 { return c.PowerW },
+			func(c TableICell) float64 { return c.EnergyJ },
+		} {
+			for _, kind := range tableIKinds {
+				line = append(line, fmtCell(row.Cells[kind], get))
+			}
+		}
+		rows = append(rows, line)
+	}
+	return textplot.Table("Table I: single-model statistics on CPU, GPU and GPU/DLA", rows)
+}
+
+// Cell is a convenience accessor used by tests.
+func (r *TableIResult) Cell(model string, kind accel.Kind) (TableICell, bool) {
+	for _, row := range r.Rows {
+		if row.Model == model {
+			c, ok := row.Cells[kind]
+			return c, ok && c.Supported
+		}
+	}
+	return TableICell{}, false
+}
+
+// Row returns the row for a model.
+func (r *TableIResult) Row(model string) (TableIRow, bool) {
+	for _, row := range r.Rows {
+		if row.Model == model {
+			return row, true
+		}
+	}
+	return TableIRow{}, false
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/metrics"
+	"repro/internal/pipeline"
+	"repro/internal/scene"
+	"repro/internal/textplot"
+)
+
+// TableIIIResult holds the reproduced main-results table: one summary per
+// method, averaged over the evaluation suite, plus the per-scenario results
+// that the figure experiments reuse.
+type TableIIIResult struct {
+	Summaries []metrics.Summary
+	// PerScenario maps method name -> scenario name -> result.
+	PerScenario map[string]map[string]*pipeline.Result
+}
+
+// methodFactory builds a fresh runner (with a fresh platform) per scenario,
+// so memory, clock and meters never leak between videos.
+type methodFactory struct {
+	name  string
+	build func(env *Env) (pipeline.Runner, error)
+}
+
+// tableIIIMethods are the six rows of Table III.
+func tableIIIMethods() []methodFactory {
+	return []methodFactory{
+		{"Marlin", func(env *Env) (pipeline.Runner, error) {
+			return baseline.NewMarlin(env.System(), baseline.DefaultMarlinConfig())
+		}},
+		{"Marlin Tiny", func(env *Env) (pipeline.Runner, error) {
+			cfg := baseline.DefaultMarlinConfig()
+			cfg.Model = "YoloV7-Tiny"
+			return baseline.NewMarlin(env.System(), cfg)
+		}},
+		{"SHIFT", func(env *Env) (pipeline.Runner, error) {
+			return pipeline.NewSHIFT(env.System(), env.Ch, env.Graph, pipeline.DefaultOptions())
+		}},
+		{"Oracle E", func(env *Env) (pipeline.Runner, error) {
+			return baseline.NewOracle(env.System(), baseline.OracleEnergy)
+		}},
+		{"Oracle A", func(env *Env) (pipeline.Runner, error) {
+			return baseline.NewOracle(env.System(), baseline.OracleAccuracy)
+		}},
+		{"Oracle L", func(env *Env) (pipeline.Runner, error) {
+			return baseline.NewOracle(env.System(), baseline.OracleLatency)
+		}},
+	}
+}
+
+// TableIII reproduces the main results: Marlin, Marlin Tiny, SHIFT and the
+// three Oracles over the given scenarios (the full evaluation suite when
+// scenarios is nil).
+func TableIII(env *Env, scenarios []*scene.Scenario) (*TableIIIResult, error) {
+	if scenarios == nil {
+		scenarios = scene.EvaluationSuite()
+	}
+	res := &TableIIIResult{PerScenario: map[string]map[string]*pipeline.Result{}}
+	for _, mf := range tableIIIMethods() {
+		var perScenario []metrics.Summary
+		res.PerScenario[mf.name] = map[string]*pipeline.Result{}
+		for _, sc := range scenarios {
+			runner, err := mf.build(env)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: build %s: %w", mf.name, err)
+			}
+			frames := env.Frames(sc)
+			r, err := runner.Run(sc.Name, frames)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: run %s on %s: %w", mf.name, sc.Name, err)
+			}
+			// Report under the factory's display name (e.g. the runner may
+			// self-describe as "Marlin Tiny" already; keep them aligned).
+			r.Method = mf.name
+			res.PerScenario[mf.name][sc.Name] = r
+			s := metrics.Summarize(r)
+			s.Method = mf.name
+			perScenario = append(perScenario, s)
+		}
+		combined, err := metrics.Combine(perScenario)
+		if err != nil {
+			return nil, err
+		}
+		res.Summaries = append(res.Summaries, combined)
+	}
+	return res, nil
+}
+
+// Summary returns the combined summary for a method.
+func (r *TableIIIResult) Summary(method string) (metrics.Summary, bool) {
+	for _, s := range r.Summaries {
+		if s.Method == method {
+			return s, true
+		}
+	}
+	return metrics.Summary{}, false
+}
+
+// Report renders the Table III layout.
+func (r *TableIIIResult) Report() string {
+	rows := [][]string{{"Methodology", "IoU", "Time (s)", "Energy (J)",
+		"Success Rate", "Non-GPU", "Model Swaps", "Pairs Used"}}
+	for _, s := range r.Summaries {
+		rows = append(rows, []string{
+			s.Method,
+			fmt.Sprintf("%.3f", s.AvgIoU),
+			fmt.Sprintf("%.3f", s.AvgTimeSec),
+			fmt.Sprintf("%.3f", s.AvgEnergyJ),
+			fmt.Sprintf("%.1f%%", s.SuccessRate*100),
+			fmt.Sprintf("%.1f%%", s.NonGPUFrac*100),
+			fmt.Sprintf("%d", s.Swaps),
+			fmt.Sprintf("%.1f", s.PairsUsed),
+		})
+	}
+	return textplot.Table("Table III: average runtime performance of continuous object detection", rows)
+}

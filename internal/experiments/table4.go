@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/metrics"
+	"repro/internal/textplot"
+)
+
+// TableIVCell is one (model, accelerator) execution profile of Table IV.
+type TableIVCell struct {
+	Supported bool
+	TimeSec   float64
+	EnergyJ   float64
+	PowerW    float64
+}
+
+// TableIVRow is one model row of Table IV: behavioural accuracy over the
+// whole evaluation suite plus execution profiles on GPU, GPU/DLA and OAK-D.
+type TableIVRow struct {
+	Model       string
+	AvgIoU      float64
+	SuccessRate float64
+	Cells       map[accel.Kind]TableIVCell
+}
+
+// TableIVResult holds the reproduced characterization table.
+type TableIVResult struct {
+	Rows []TableIVRow
+}
+
+// tableIVKinds are Table IV's accelerator columns.
+var tableIVKinds = []accel.Kind{accel.KindGPU, accel.KindDLA, accel.KindOAKD}
+
+// TableIV reproduces the full characterization table: every zoo model's
+// average IoU and success rate measured over the six evaluation scenarios,
+// with per-accelerator time/energy/power measured on the virtual platform.
+func TableIV(env *Env, nExec int) (*TableIVResult, error) {
+	res := &TableIVResult{}
+	suite := env.Suite()
+	sys := env.System()
+	for _, entry := range sys.Entries {
+		row := TableIVRow{Model: entry.Name(), Cells: map[accel.Kind]TableIVCell{}}
+		var iou metrics.Welford
+		success, total := 0, 0
+		for _, frames := range suite {
+			for _, f := range frames {
+				det := entry.Model.Detect(f, sys.Seed)
+				iou.Add(det.IoU)
+				if det.IoU >= metrics.SuccessIoU {
+					success++
+				}
+				total++
+			}
+		}
+		row.AvgIoU = iou.Mean()
+		if total > 0 {
+			row.SuccessRate = float64(success) / float64(total)
+		}
+		for _, kind := range tableIVKinds {
+			if !entry.Supports(kind) {
+				row.Cells[kind] = TableIVCell{}
+				continue
+			}
+			perf := entry.PerfByKind[kind]
+			procID := sys.SoC.ProcIDsByKind(kind)[0]
+			cell := TableIVCell{Supported: true}
+			for i := 0; i < nExec; i++ {
+				cost, err := sys.SoC.Exec(procID, perf.LatencySec, perf.PowerW)
+				if err != nil {
+					return nil, err
+				}
+				cell.TimeSec += cost.Lat.Seconds()
+				cell.EnergyJ += cost.Energy
+				cell.PowerW += cost.PowerW
+			}
+			if nExec > 0 {
+				cell.TimeSec /= float64(nExec)
+				cell.EnergyJ /= float64(nExec)
+				cell.PowerW /= float64(nExec)
+			}
+			row.Cells[kind] = cell
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Row returns the row for a model.
+func (r *TableIVResult) Row(model string) (TableIVRow, bool) {
+	for _, row := range r.Rows {
+		if row.Model == model {
+			return row, true
+		}
+	}
+	return TableIVRow{}, false
+}
+
+// Report renders the Table IV layout.
+func (r *TableIVResult) Report() string {
+	rows := [][]string{{"Model", "Avg IoU", "Success",
+		"t GPU", "t DLA", "t OAK-D",
+		"E GPU", "E DLA", "E OAK-D",
+		"P GPU", "P DLA", "P OAK-D"}}
+	cell := func(c TableIVCell, f func(TableIVCell) float64) string {
+		if !c.Supported {
+			return "-"
+		}
+		return fmt.Sprintf("%.3f", f(c))
+	}
+	for _, row := range r.Rows {
+		line := []string{row.Model, fmt.Sprintf("%.3f", row.AvgIoU),
+			fmt.Sprintf("%.1f%%", row.SuccessRate*100)}
+		for _, get := range []func(TableIVCell) float64{
+			func(c TableIVCell) float64 { return c.TimeSec },
+			func(c TableIVCell) float64 { return c.EnergyJ },
+			func(c TableIVCell) float64 { return c.PowerW },
+		} {
+			for _, kind := range tableIVKinds {
+				line = append(line, cell(row.Cells[kind], get))
+			}
+		}
+		rows = append(rows, line)
+	}
+	return textplot.Table("Table IV: collected accuracy and performance traits of all models", rows)
+}

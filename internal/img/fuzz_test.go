@@ -1,0 +1,51 @@
+package img
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadPGM hardens the PGM decoder against arbitrary input: it must
+// either return an error or a structurally consistent image, never panic or
+// over-allocate.
+func FuzzReadPGM(f *testing.F) {
+	// Seed corpus: valid images and near-miss corruptions.
+	var buf bytes.Buffer
+	m := New(3, 2)
+	m.Pix = []uint8{1, 2, 3, 4, 5, 6}
+	if err := m.WritePGM(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("P5\n2 2\n255\nabcd"))
+	f.Add([]byte("P5\n# comment\n1 1\n255\nx"))
+	f.Add([]byte("P2\n2 2\n255\nabcd"))
+	f.Add([]byte("P5\n999999999 999999999\n255\n"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := ReadPGM(strings.NewReader(string(data)))
+		if err != nil {
+			return
+		}
+		if img.W <= 0 || img.H <= 0 {
+			t.Fatalf("accepted non-positive dimensions %dx%d", img.W, img.H)
+		}
+		if len(img.Pix) != img.W*img.H {
+			t.Fatalf("pixel buffer %d does not match %dx%d", len(img.Pix), img.W, img.H)
+		}
+		// A successfully decoded image must re-encode and decode to itself.
+		var out bytes.Buffer
+		if err := img.WritePGM(&out); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := ReadPGM(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !img.Equal(back) {
+			t.Fatal("PGM round trip not idempotent")
+		}
+	})
+}

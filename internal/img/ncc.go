@@ -1,0 +1,104 @@
+package img
+
+import "math"
+
+// NCC computes the normalized cross-correlation between two equally sized
+// images, per Eq. 1 of the paper:
+//
+//	NCC(p, c) = Σ (p-mean(p))(c-mean(c)) / (sqrt(Σ(c-mean(c))²) · sqrt(Σ(p-mean(p))²))
+//
+// The result lies in [-1, 1]; 1 means identical up to affine intensity
+// change. If the sizes differ, the smaller common region (top-left aligned)
+// is compared, mirroring how the runtime compares consecutive camera frames
+// of equal size and consecutive bounding-box crops of slightly different
+// sizes. If either image has zero variance the result is defined as 0 when
+// the other varies and 1 when both are flat (two featureless frames are
+// maximally similar for scheduling purposes).
+func NCC(p, c *Image) float64 {
+	w := p.W
+	if c.W < w {
+		w = c.W
+	}
+	h := p.H
+	if c.H < h {
+		h = c.H
+	}
+	if w <= 0 || h <= 0 {
+		return 0
+	}
+	n := float64(w * h)
+
+	var sumP, sumC float64
+	for y := 0; y < h; y++ {
+		prow := p.Pix[y*p.W : y*p.W+w]
+		crow := c.Pix[y*c.W : y*c.W+w]
+		for x := 0; x < w; x++ {
+			sumP += float64(prow[x])
+			sumC += float64(crow[x])
+		}
+	}
+	meanP := sumP / n
+	meanC := sumC / n
+
+	var cross, varP, varC float64
+	for y := 0; y < h; y++ {
+		prow := p.Pix[y*p.W : y*p.W+w]
+		crow := c.Pix[y*c.W : y*c.W+w]
+		for x := 0; x < w; x++ {
+			dp := float64(prow[x]) - meanP
+			dc := float64(crow[x]) - meanC
+			cross += dp * dc
+			varP += dp * dp
+			varC += dc * dc
+		}
+	}
+	if varP == 0 && varC == 0 {
+		return 1
+	}
+	if varP == 0 || varC == 0 {
+		return 0
+	}
+	return cross / (math.Sqrt(varP) * math.Sqrt(varC))
+}
+
+// NCCSearch slides template t over search image s and returns the offset
+// (bestX, bestY) maximizing NCC, along with the best score. Search is
+// exhaustive over all placements where the template fits fully inside s; the
+// tracker restricts s to a window around the previous detection, so the cost
+// stays small. If the template does not fit, ok is false.
+func NCCSearch(s, t *Image) (bestX, bestY int, bestScore float64, ok bool) {
+	if t.W > s.W || t.H > s.H || t.W <= 0 || t.H <= 0 {
+		return 0, 0, 0, false
+	}
+	bestScore = math.Inf(-1)
+	patch := New(t.W, t.H)
+	for y := 0; y+t.H <= s.H; y++ {
+		for x := 0; x+t.W <= s.W; x++ {
+			s.CropInto(x, y, patch)
+			score := NCC(patch, t)
+			if score > bestScore {
+				bestScore, bestX, bestY = score, x, y
+			}
+		}
+	}
+	return bestX, bestY, bestScore, true
+}
+
+// CropInto copies the w×h region of m at (x, y) into dst (whose size defines
+// the region). Out-of-bounds source pixels read as 0.
+func (m *Image) CropInto(x, y int, dst *Image) {
+	for dy := 0; dy < dst.H; dy++ {
+		sy := y + dy
+		for dx := 0; dx < dst.W; dx++ {
+			dst.Pix[dy*dst.W+dx] = m.At(x+dx, sy)
+		}
+	}
+}
+
+// Crop returns a new w×h image copied from m at (x, y). Out-of-bounds pixels
+// read as 0.
+func (m *Image) Crop(x, y, w, h int) *Image {
+	out := New(w, h)
+	m.CropInto(x, y, out)
+	return out
+}

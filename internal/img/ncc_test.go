@@ -1,0 +1,157 @@
+package img
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func randomImage(r *rng.Stream, w, h int) *Image {
+	m := New(w, h)
+	for i := range m.Pix {
+		m.Pix[i] = uint8(r.Intn(256))
+	}
+	return m
+}
+
+func TestNCCIdentical(t *testing.T) {
+	r := rng.New(30)
+	m := randomImage(r, 16, 16)
+	if got := NCC(m, m); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("NCC(m, m) = %v, want 1", got)
+	}
+}
+
+func TestNCCAffineInvariance(t *testing.T) {
+	r := rng.New(31)
+	m := randomImage(r, 16, 16)
+	// Scale intensities by 0.5 and add offset; NCC must stay ~1 (quantization
+	// introduces small error).
+	o := New(16, 16)
+	for i, p := range m.Pix {
+		o.Pix[i] = clampU8(float64(p)*0.5 + 20)
+	}
+	if got := NCC(m, o); got < 0.99 {
+		t.Fatalf("NCC under affine transform = %v, want ~1", got)
+	}
+}
+
+func TestNCCInverted(t *testing.T) {
+	r := rng.New(32)
+	m := randomImage(r, 16, 16)
+	inv := New(16, 16)
+	for i, p := range m.Pix {
+		inv.Pix[i] = 255 - p
+	}
+	if got := NCC(m, inv); math.Abs(got+1) > 1e-9 {
+		t.Fatalf("NCC(m, inverse) = %v, want -1", got)
+	}
+}
+
+func TestNCCUncorrelated(t *testing.T) {
+	r := rng.New(33)
+	a := randomImage(r, 64, 64)
+	b := randomImage(r, 64, 64)
+	if got := NCC(a, b); math.Abs(got) > 0.1 {
+		t.Fatalf("NCC of independent noise = %v, want ~0", got)
+	}
+}
+
+func TestNCCFlatImages(t *testing.T) {
+	a := New(8, 8)
+	a.Fill(50)
+	b := New(8, 8)
+	b.Fill(200)
+	if got := NCC(a, b); got != 1 {
+		t.Fatalf("NCC of two flat images = %v, want 1 (defined)", got)
+	}
+	c := New(8, 8)
+	for i := range c.Pix {
+		c.Pix[i] = uint8(i)
+	}
+	if got := NCC(a, c); got != 0 {
+		t.Fatalf("NCC flat-vs-varying = %v, want 0", got)
+	}
+}
+
+func TestNCCSizeMismatchUsesCommonRegion(t *testing.T) {
+	r := rng.New(34)
+	big := randomImage(r, 20, 20)
+	small := big.Crop(0, 0, 12, 12)
+	if got := NCC(big, small); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("NCC over common region = %v, want 1", got)
+	}
+}
+
+func TestNCCEmpty(t *testing.T) {
+	if got := NCC(New(0, 0), New(4, 4)); got != 0 {
+		t.Fatalf("NCC with empty image = %v, want 0", got)
+	}
+}
+
+func TestNCCRange(t *testing.T) {
+	r := rng.New(35)
+	for i := 0; i < 200; i++ {
+		a := randomImage(r, 8, 8)
+		b := randomImage(r, 8, 8)
+		v := NCC(a, b)
+		if v < -1-1e-9 || v > 1+1e-9 {
+			t.Fatalf("NCC out of [-1,1]: %v", v)
+		}
+	}
+}
+
+func TestNCCSymmetric(t *testing.T) {
+	r := rng.New(36)
+	a := randomImage(r, 12, 12)
+	b := randomImage(r, 12, 12)
+	if math.Abs(NCC(a, b)-NCC(b, a)) > 1e-12 {
+		t.Fatal("NCC not symmetric")
+	}
+}
+
+func TestNCCSearchFindsEmbeddedTemplate(t *testing.T) {
+	r := rng.New(37)
+	s := randomImage(r, 40, 40)
+	tpl := s.Crop(17, 9, 8, 8)
+	x, y, score, ok := NCCSearch(s, tpl)
+	if !ok {
+		t.Fatal("NCCSearch reported !ok")
+	}
+	if x != 17 || y != 9 {
+		t.Fatalf("NCCSearch found (%d,%d), want (17,9), score %v", x, y, score)
+	}
+	if score < 0.999 {
+		t.Fatalf("NCCSearch score %v, want ~1", score)
+	}
+}
+
+func TestNCCSearchTemplateTooLarge(t *testing.T) {
+	if _, _, _, ok := NCCSearch(New(4, 4), New(8, 8)); ok {
+		t.Fatal("oversized template should report !ok")
+	}
+	if _, _, _, ok := NCCSearch(New(4, 4), New(0, 0)); ok {
+		t.Fatal("empty template should report !ok")
+	}
+}
+
+func BenchmarkNCC96(b *testing.B) {
+	r := rng.New(1)
+	p := randomImage(r, 96, 96)
+	c := randomImage(r, 96, 96)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = NCC(p, c)
+	}
+}
+
+func BenchmarkNCCSearch(b *testing.B) {
+	r := rng.New(2)
+	s := randomImage(r, 48, 48)
+	tpl := s.Crop(10, 10, 12, 12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _, _, _ = NCCSearch(s, tpl)
+	}
+}

@@ -1,0 +1,196 @@
+package img
+
+// Resize returns m resampled to w×h using bilinear interpolation. It is used
+// to normalize bounding-box crops before NCC comparison and to scale the
+// drone sprite with distance.
+func (m *Image) Resize(w, h int) *Image {
+	out := New(w, h)
+	if m.W == 0 || m.H == 0 || w == 0 || h == 0 {
+		return out
+	}
+	xRatio := float64(m.W) / float64(w)
+	yRatio := float64(m.H) / float64(h)
+	for y := 0; y < h; y++ {
+		srcY := (float64(y)+0.5)*yRatio - 0.5
+		y0 := int(srcY)
+		if srcY < 0 {
+			y0 = 0
+			srcY = 0
+		}
+		y1 := y0 + 1
+		if y1 >= m.H {
+			y1 = m.H - 1
+		}
+		fy := srcY - float64(y0)
+		for x := 0; x < w; x++ {
+			srcX := (float64(x)+0.5)*xRatio - 0.5
+			x0 := int(srcX)
+			if srcX < 0 {
+				x0 = 0
+				srcX = 0
+			}
+			x1 := x0 + 1
+			if x1 >= m.W {
+				x1 = m.W - 1
+			}
+			fx := srcX - float64(x0)
+			top := float64(m.Pix[y0*m.W+x0])*(1-fx) + float64(m.Pix[y0*m.W+x1])*fx
+			bot := float64(m.Pix[y1*m.W+x0])*(1-fx) + float64(m.Pix[y1*m.W+x1])*fx
+			out.Pix[y*w+x] = clampU8(top*(1-fy) + bot*fy)
+		}
+	}
+	return out
+}
+
+// BoxBlur returns m blurred with a (2r+1)×(2r+1) box filter, approximating
+// the motion/defocus blur the scene generator applies to fast frames. Edge
+// pixels are blurred over the in-bounds neighborhood. r <= 0 returns a clone.
+func (m *Image) BoxBlur(r int) *Image {
+	if r <= 0 {
+		return m.Clone()
+	}
+	// Two-pass separable blur: horizontal then vertical, O(W*H) per pass
+	// using running sums.
+	tmp := make([]float64, m.W*m.H)
+	for y := 0; y < m.H; y++ {
+		row := m.Pix[y*m.W : (y+1)*m.W]
+		var sum float64
+		// Initial window [0, r].
+		count := 0
+		for x := 0; x <= r && x < m.W; x++ {
+			sum += float64(row[x])
+			count++
+		}
+		for x := 0; x < m.W; x++ {
+			tmp[y*m.W+x] = sum / float64(count)
+			if x+r+1 < m.W {
+				sum += float64(row[x+r+1])
+				count++
+			}
+			if x-r >= 0 {
+				sum -= float64(row[x-r])
+				count--
+			}
+		}
+	}
+	out := New(m.W, m.H)
+	for x := 0; x < m.W; x++ {
+		var sum float64
+		count := 0
+		for y := 0; y <= r && y < m.H; y++ {
+			sum += tmp[y*m.W+x]
+			count++
+		}
+		for y := 0; y < m.H; y++ {
+			out.Pix[y*m.W+x] = clampU8(sum / float64(count))
+			if y+r+1 < m.H {
+				sum += tmp[(y+r+1)*m.W+x]
+				count++
+			}
+			if y-r >= 0 {
+				sum -= tmp[(y-r)*m.W+x]
+				count--
+			}
+		}
+	}
+	return out
+}
+
+// Composite alpha-blends src onto m with its top-left corner at (x, y).
+// alpha is a per-call scalar in [0, 1]; src pixels equal to key are treated
+// as fully transparent (the sprite's background key). Out-of-bounds regions
+// are clipped.
+func (m *Image) Composite(src *Image, x, y int, alpha float64, key uint8) {
+	if alpha <= 0 {
+		return
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	for sy := 0; sy < src.H; sy++ {
+		dy := y + sy
+		if dy < 0 || dy >= m.H {
+			continue
+		}
+		for sx := 0; sx < src.W; sx++ {
+			dx := x + sx
+			if dx < 0 || dx >= m.W {
+				continue
+			}
+			sv := src.Pix[sy*src.W+sx]
+			if sv == key {
+				continue
+			}
+			dv := float64(m.Pix[dy*m.W+dx])
+			m.Pix[dy*m.W+dx] = clampU8(dv*(1-alpha) + float64(sv)*alpha)
+		}
+	}
+}
+
+// AddScaled adds v (which may be negative) to every pixel, saturating.
+// It implements global illumination shifts between scene segments.
+func (m *Image) AddScaled(v float64) {
+	for i, p := range m.Pix {
+		m.Pix[i] = clampU8(float64(p) + v)
+	}
+}
+
+// Integral returns the summed-area table of m: out[y][x] is the sum of all
+// pixels with coordinates < (x, y). The table has (H+1)×(W+1) entries, so
+// rectangle sums need no boundary checks. Used by the scene difficulty
+// estimator for fast local-contrast queries.
+func (m *Image) Integral() [][]uint64 {
+	out := make([][]uint64, m.H+1)
+	out[0] = make([]uint64, m.W+1)
+	for y := 1; y <= m.H; y++ {
+		out[y] = make([]uint64, m.W+1)
+		var rowSum uint64
+		for x := 1; x <= m.W; x++ {
+			rowSum += uint64(m.Pix[(y-1)*m.W+x-1])
+			out[y][x] = out[y-1][x] + rowSum
+		}
+	}
+	return out
+}
+
+// RectSum returns the pixel sum over the half-open rectangle
+// [x0,x1)×[y0,y1) using an integral table produced by Integral.
+// Coordinates are clamped to the table.
+func RectSum(integral [][]uint64, x0, y0, x1, y1 int) uint64 {
+	h := len(integral) - 1
+	if h < 0 {
+		return 0
+	}
+	w := len(integral[0]) - 1
+	clamp := func(v, hi int) int {
+		if v < 0 {
+			return 0
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	x0, x1 = clamp(x0, w), clamp(x1, w)
+	y0, y1 = clamp(y0, h), clamp(y1, h)
+	if x1 <= x0 || y1 <= y0 {
+		return 0
+	}
+	return integral[y1][x1] - integral[y0][x1] - integral[y1][x0] + integral[y0][x0]
+}
+
+// Downsample2x returns m reduced by a factor of two via 2×2 averaging; odd
+// trailing rows/columns are dropped. Cheaper than Resize for pyramid
+// construction in the tracker.
+func (m *Image) Downsample2x() *Image {
+	w, h := m.W/2, m.H/2
+	out := New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			s := int(m.Pix[(2*y)*m.W+2*x]) + int(m.Pix[(2*y)*m.W+2*x+1]) +
+				int(m.Pix[(2*y+1)*m.W+2*x]) + int(m.Pix[(2*y+1)*m.W+2*x+1])
+			out.Pix[y*w+x] = uint8((s + 2) / 4)
+		}
+	}
+	return out
+}

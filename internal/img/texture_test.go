@@ -1,0 +1,138 @@
+package img
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestTextureNames(t *testing.T) {
+	want := map[Texture]string{
+		TextureFlat:     "flat",
+		TextureGradient: "gradient",
+		TextureClouds:   "clouds",
+		TextureFoliage:  "foliage",
+		TextureUrban:    "urban",
+		Texture(99):     "unknown",
+	}
+	for tex, name := range want {
+		if tex.String() != name {
+			t.Errorf("Texture(%d).String() = %q, want %q", tex, tex.String(), name)
+		}
+	}
+}
+
+func TestClutterOrdering(t *testing.T) {
+	order := []Texture{TextureFlat, TextureGradient, TextureClouds, TextureFoliage, TextureUrban}
+	for i := 1; i < len(order); i++ {
+		if order[i].Clutter() <= order[i-1].Clutter() {
+			t.Fatalf("clutter not increasing: %v (%v) <= %v (%v)",
+				order[i], order[i].Clutter(), order[i-1], order[i-1].Clutter())
+		}
+	}
+	for _, tex := range order {
+		if c := tex.Clutter(); c < 0 || c > 1 {
+			t.Fatalf("clutter out of range for %v: %v", tex, c)
+		}
+	}
+}
+
+func TestFillTextureDeterministic(t *testing.T) {
+	for tex := TextureFlat; tex < numTextures; tex++ {
+		a := New(32, 24)
+		b := New(32, 24)
+		FillTexture(a, tex, 120, 0.1, rng.New(5))
+		FillTexture(b, tex, 120, 0.1, rng.New(5))
+		if !a.Equal(b) {
+			t.Fatalf("texture %v not deterministic", tex)
+		}
+	}
+}
+
+func TestFillTextureVarianceTracksClutter(t *testing.T) {
+	// Higher-clutter families must produce higher pixel variance so the
+	// difficulty model sees a meaningful signal.
+	r := rng.New(6)
+	flat := New(48, 48)
+	FillTexture(flat, TextureFlat, 128, 0, r.Fork("a"))
+	urban := New(48, 48)
+	FillTexture(urban, TextureUrban, 128, 0, r.Fork("b"))
+	if flat.Variance() >= urban.Variance() {
+		t.Fatalf("flat variance %v >= urban variance %v", flat.Variance(), urban.Variance())
+	}
+}
+
+func TestFillTexturePhaseScrolls(t *testing.T) {
+	// Shifting the phase must change the image (panning camera produces
+	// frame-to-frame deltas), but keep it correlated for small shifts.
+	r := rng.New(7)
+	a := New(64, 48)
+	FillTexture(a, TextureClouds, 128, 0.0, r.Fork("x"))
+	b := New(64, 48)
+	FillTexture(b, TextureClouds, 128, 0.02, r.Fork("x"))
+	if a.Equal(b) {
+		t.Fatal("phase shift produced identical images")
+	}
+	if ncc := NCC(a, b); ncc < 0.5 {
+		t.Fatalf("small phase shift decorrelated frames: NCC = %v", ncc)
+	}
+}
+
+func TestDroneSprite(t *testing.T) {
+	s := DroneSprite(15, 230)
+	if s.W != 15 || s.H != 15 {
+		t.Fatalf("sprite size %dx%d", s.W, s.H)
+	}
+	// Center pixel is body.
+	if s.At(7, 7) == 0 {
+		t.Fatal("sprite center transparent")
+	}
+	// Corners are transparent.
+	if s.At(0, 0) != 0 || s.At(14, 14) != 0 {
+		t.Fatal("sprite corners not transparent")
+	}
+	// Some pixels set, some not.
+	set := 0
+	for _, p := range s.Pix {
+		if p != 0 {
+			set++
+		}
+	}
+	if set == 0 || set == len(s.Pix) {
+		t.Fatalf("sprite degenerate: %d/%d set", set, len(s.Pix))
+	}
+}
+
+func TestDroneSpriteMinSize(t *testing.T) {
+	s := DroneSprite(1, 200)
+	if s.W < 3 || s.H < 3 {
+		t.Fatalf("sprite below minimum size: %dx%d", s.W, s.H)
+	}
+}
+
+func TestDroneSpriteZeroIntensityAvoidsKey(t *testing.T) {
+	s := DroneSprite(9, 0)
+	// intensity 0 would collide with the transparent key; implementation
+	// must substitute a non-zero value for body pixels.
+	if s.At(4, 4) == 0 {
+		t.Fatal("zero-intensity sprite body collides with transparent key")
+	}
+}
+
+func BenchmarkFillTextureUrban(b *testing.B) {
+	m := New(96, 96)
+	r := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FillTexture(m, TextureUrban, 128, float64(i)*0.01, r)
+	}
+}
+
+func BenchmarkFillTextureClouds(b *testing.B) {
+	m := New(96, 96)
+	r := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FillTexture(m, TextureClouds, 128, float64(i)*0.01, r)
+	}
+}

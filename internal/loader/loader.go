@@ -1,0 +1,299 @@
+// Package loader implements SHIFT's dynamic model loader (DML, paper
+// §III-C): it manages which models are resident in each accelerator memory
+// pool, loads models on demand (charging the characterized load time and
+// energy to the virtual platform), evicts the least-recently-requested model
+// when a pool is full, and optionally prefetches models to occupy all free
+// memory — the paper's strategy for making future swaps cheap.
+//
+// Engines are pool-specific (a TensorRT GPU engine differs from a DLA engine
+// and from an OpenVINO blob), so residency is keyed by (model, kind) within
+// each pool.
+package loader
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/zoo"
+)
+
+// EvictionPolicy selects which resident model is evicted when space is
+// needed. The paper uses least-recently-requested; the alternatives exist
+// for the ablation study in DESIGN.md.
+type EvictionPolicy int
+
+// Supported eviction policies.
+const (
+	// EvictLRR removes the least-recently-requested model (the paper's
+	// policy).
+	EvictLRR EvictionPolicy = iota
+	// EvictFIFO removes the oldest-loaded model.
+	EvictFIFO
+	// EvictLargest removes the largest resident model.
+	EvictLargest
+)
+
+// String names the policy.
+func (p EvictionPolicy) String() string {
+	switch p {
+	case EvictLRR:
+		return "least-recently-requested"
+	case EvictFIFO:
+		return "fifo"
+	case EvictLargest:
+		return "largest-first"
+	default:
+		return "unknown"
+	}
+}
+
+// resident tracks one loaded engine.
+type resident struct {
+	key         string // residency key within the pool
+	model       string
+	bytes       int64
+	loadedSeq   uint64 // sequence number at load time (FIFO)
+	requestedAt uint64 // last request sequence (LRR)
+}
+
+// Stats accumulates loader activity for Table III-style reporting.
+type Stats struct {
+	// Loads counts engines brought into memory.
+	Loads int
+	// Evictions counts engines removed to make space.
+	Evictions int
+	// LoadTimeSec and LoadEnergyJ accumulate the charged load costs.
+	LoadTimeSec float64
+	LoadEnergyJ float64
+}
+
+// Loader is the dynamic model loader. Not safe for concurrent use.
+type Loader struct {
+	sys    *zoo.System
+	policy EvictionPolicy
+
+	seq      uint64
+	resident map[string]map[string]*resident // pool -> key -> resident
+	pinned   map[string]string               // pool -> key exempt from eviction
+	stats    Stats
+}
+
+// New creates a loader over the system with the given eviction policy.
+func New(sys *zoo.System, policy EvictionPolicy) *Loader {
+	return &Loader{
+		sys:      sys,
+		policy:   policy,
+		resident: map[string]map[string]*resident{},
+		pinned:   map[string]string{},
+	}
+}
+
+// residencyKey names an engine within its pool.
+func residencyKey(model string, kind accel.Kind) string {
+	return model + "/" + kind.String()
+}
+
+// Stats returns a copy of the accumulated loader statistics.
+func (l *Loader) Stats() Stats { return l.stats }
+
+// IsResident reports whether the engine for pair is loaded.
+func (l *Loader) IsResident(pair zoo.Pair) bool {
+	pool, err := l.sys.SoC.PoolOf(pair.ProcID)
+	if err != nil {
+		return false
+	}
+	m := l.resident[pool.Name]
+	if m == nil {
+		return false
+	}
+	_, ok := m[residencyKey(pair.Model, pair.Kind)]
+	return ok
+}
+
+// ResidentCount returns the number of engines loaded across all pools.
+func (l *Loader) ResidentCount() int {
+	n := 0
+	for _, m := range l.resident {
+		n += len(m)
+	}
+	return n
+}
+
+// loadCost returns the load cost of model on pool, or an error if the model
+// has no engine format for that pool (accelerator incompatibility — the DML
+// "needs to have the knowledge about whether an accelerator can execute a
+// specific ODM").
+func (l *Loader) loadCost(model, poolName string) (zoo.LoadCost, error) {
+	e, err := l.sys.Entry(model)
+	if err != nil {
+		return zoo.LoadCost{}, err
+	}
+	lc, ok := e.LoadByPool[poolName]
+	if !ok {
+		return zoo.LoadCost{}, fmt.Errorf("loader: %s has no engine for pool %s", model, poolName)
+	}
+	return lc, nil
+}
+
+// Ensure makes the engine for pair resident, evicting if necessary, and
+// returns the cost charged (zero if already resident — only the request
+// recency is refreshed). The engine being requested is pinned for the
+// duration of the call so it can never evict itself.
+func (l *Loader) Ensure(pair zoo.Pair) (accel.Cost, error) {
+	proc, err := l.sys.SoC.Proc(pair.ProcID)
+	if err != nil {
+		return accel.Cost{}, err
+	}
+	e, err := l.sys.Entry(pair.Model)
+	if err != nil {
+		return accel.Cost{}, err
+	}
+	if !e.Supports(proc.Kind) {
+		return accel.Cost{}, fmt.Errorf("loader: %s cannot execute on %s", pair.Model, proc.Kind)
+	}
+	pool, err := l.sys.SoC.PoolOf(pair.ProcID)
+	if err != nil {
+		return accel.Cost{}, err
+	}
+	key := residencyKey(pair.Model, proc.Kind)
+	l.seq++
+
+	if m := l.resident[pool.Name]; m != nil {
+		if r, ok := m[key]; ok {
+			r.requestedAt = l.seq
+			return accel.Cost{}, nil
+		}
+	}
+
+	lc, err := l.loadCost(pair.Model, pool.Name)
+	if err != nil {
+		return accel.Cost{}, err
+	}
+	if lc.Bytes > pool.Capacity {
+		return accel.Cost{}, fmt.Errorf("loader: %s (%d bytes) exceeds pool %s capacity %d",
+			pair.Model, lc.Bytes, pool.Name, pool.Capacity)
+	}
+
+	// Evict until the engine fits.
+	l.pinned[pool.Name] = key
+	defer delete(l.pinned, pool.Name)
+	for pool.Available() < lc.Bytes {
+		if err := l.evictOne(pool); err != nil {
+			return accel.Cost{}, err
+		}
+	}
+	if err := pool.Alloc(key, lc.Bytes); err != nil {
+		return accel.Cost{}, err
+	}
+	if l.resident[pool.Name] == nil {
+		l.resident[pool.Name] = map[string]*resident{}
+	}
+	l.resident[pool.Name][key] = &resident{
+		key:         key,
+		model:       pair.Model,
+		bytes:       lc.Bytes,
+		loadedSeq:   l.seq,
+		requestedAt: l.seq,
+	}
+
+	// Charge the load to the requesting processor on the virtual platform.
+	cost, err := l.sys.SoC.Exec(pair.ProcID, lc.TimeSec, lc.PowerW)
+	if err != nil {
+		return accel.Cost{}, err
+	}
+	l.stats.Loads++
+	l.stats.LoadTimeSec += cost.Lat.Seconds()
+	l.stats.LoadEnergyJ += cost.Energy
+	return cost, nil
+}
+
+// evictOne removes one engine from the pool according to the policy.
+func (l *Loader) evictOne(pool *accel.MemPool) error {
+	m := l.resident[pool.Name]
+	if len(m) == 0 {
+		return fmt.Errorf("loader: pool %s has no evictable engines", pool.Name)
+	}
+	var victim *resident
+	pinnedKey := l.pinned[pool.Name]
+	for _, r := range m {
+		if r.key == pinnedKey {
+			continue
+		}
+		if victim == nil {
+			victim = r
+			continue
+		}
+		switch l.policy {
+		case EvictLRR:
+			if r.requestedAt < victim.requestedAt ||
+				(r.requestedAt == victim.requestedAt && r.key < victim.key) {
+				victim = r
+			}
+		case EvictFIFO:
+			if r.loadedSeq < victim.loadedSeq ||
+				(r.loadedSeq == victim.loadedSeq && r.key < victim.key) {
+				victim = r
+			}
+		case EvictLargest:
+			if r.bytes > victim.bytes ||
+				(r.bytes == victim.bytes && r.key < victim.key) {
+				victim = r
+			}
+		default:
+			return fmt.Errorf("loader: unknown eviction policy %d", l.policy)
+		}
+	}
+	if victim == nil {
+		return fmt.Errorf("loader: pool %s only holds the pinned engine", pool.Name)
+	}
+	if err := pool.Free(victim.key); err != nil {
+		return err
+	}
+	delete(m, victim.key)
+	l.stats.Evictions++
+	return nil
+}
+
+// Prefetch greedily loads the given pairs (in priority order) into whatever
+// memory remains, never evicting — the paper's "occupy the entire memory
+// with ODMs, if it is able to". Prefetch loads are charged like demand
+// loads; callers decide when idle time makes that acceptable. It returns
+// the number of engines actually loaded.
+func (l *Loader) Prefetch(pairs []zoo.Pair) (int, error) {
+	loaded := 0
+	for _, pair := range pairs {
+		proc, err := l.sys.SoC.Proc(pair.ProcID)
+		if err != nil {
+			return loaded, err
+		}
+		e, err := l.sys.Entry(pair.Model)
+		if err != nil {
+			return loaded, err
+		}
+		if !e.Supports(proc.Kind) {
+			continue
+		}
+		pool, err := l.sys.SoC.PoolOf(pair.ProcID)
+		if err != nil {
+			return loaded, err
+		}
+		key := residencyKey(pair.Model, proc.Kind)
+		if m := l.resident[pool.Name]; m != nil {
+			if _, ok := m[key]; ok {
+				continue
+			}
+		}
+		lc, err := l.loadCost(pair.Model, pool.Name)
+		if err != nil {
+			continue // no engine format for this pool
+		}
+		if pool.Available() < lc.Bytes {
+			continue // prefetch never evicts
+		}
+		if _, err := l.Ensure(pair); err != nil {
+			return loaded, err
+		}
+		loaded++
+	}
+	return loaded, nil
+}

@@ -1,0 +1,249 @@
+// Package pipeline is the continuous object-detection runtime of the SHIFT
+// reproduction: a sequential per-frame loop that binds together the dynamic
+// model loader, the simulated platform, the simulated detectors and the
+// SHIFT scheduler, and produces per-frame records that every experiment
+// aggregates.
+//
+// The loop per frame is exactly the paper's: ensure the active model is
+// resident (charging load costs), run inference on the chosen accelerator
+// (charging execution costs), read the detection, then pay the scheduler's
+// sub-2 ms decision overhead to select the pair for the next frame.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/confgraph"
+	"repro/internal/detmodel"
+	"repro/internal/geom"
+	"repro/internal/loader"
+	"repro/internal/profile"
+	"repro/internal/scene"
+	"repro/internal/sched"
+	"repro/internal/zoo"
+)
+
+// FrameRecord captures everything one processed frame contributes to the
+// evaluation metrics.
+type FrameRecord struct {
+	// Index is the frame index within the scenario.
+	Index int
+	// Pair is the (model, processor) that ran inference on this frame.
+	Pair zoo.Pair
+	// Found, Conf, IoU and Box mirror the detection outcome.
+	Found bool
+	Conf  float64
+	IoU   float64
+	Box   geom.Rect
+	// LatSec and EnergyJ are the total charges for this frame: inference +
+	// model loading + decision overhead.
+	LatSec  float64
+	EnergyJ float64
+	// Swapped marks frames where the active pair differs from the previous
+	// frame's (Table III "Model Swaps").
+	Swapped bool
+	// LoadedModel marks frames that paid a model load.
+	LoadedModel bool
+	// Rescheduled marks frames where the scheduler took the full decision
+	// path rather than the NCC keep-gate.
+	Rescheduled bool
+	// Similarity and Gate are the scheduler diagnostics (s and s·c).
+	Similarity float64
+	Gate       float64
+}
+
+// Result is one method's run over one scenario.
+type Result struct {
+	Method   string
+	Scenario string
+	Records  []FrameRecord
+}
+
+// Runner produces a Result over a rendered scenario. SHIFT and each baseline
+// (package baseline) implement it.
+type Runner interface {
+	// Name identifies the method in report tables.
+	Name() string
+	// Run processes the frames in order and returns per-frame records.
+	Run(scenario string, frames []scene.Frame) (*Result, error)
+}
+
+// SHIFT is the full system of the paper: scheduler + dynamic model loader
+// over the simulated platform.
+type SHIFT struct {
+	sys       *zoo.System
+	scheduler *sched.Scheduler
+	dml       *loader.Loader
+	initial   zoo.Pair
+	// PrefetchOnStart optionally fills free memory with the smallest
+	// engines before the stream starts (the DML's occupy-all-memory
+	// strategy); costs are charged up front.
+	PrefetchOnStart bool
+}
+
+// Options assembles a SHIFT runtime.
+type Options struct {
+	Sched    sched.Config
+	Eviction loader.EvictionPolicy
+	// Initial names the pair that serves frame 0 (the conventional
+	// deployment default: the strongest model on the GPU).
+	InitialModel string
+	InitialProc  string
+	Prefetch     bool
+}
+
+// DefaultOptions mirrors the paper's Table III configuration.
+func DefaultOptions() Options {
+	return Options{
+		Sched:        sched.DefaultConfig(),
+		Eviction:     loader.EvictLRR,
+		InitialModel: detmodel.YoloV7,
+		InitialProc:  "gpu",
+	}
+}
+
+// NewSHIFT builds the SHIFT runtime from its three components.
+func NewSHIFT(sys *zoo.System, ch *profile.Characterization, graph *confgraph.Graph, opts Options) (*SHIFT, error) {
+	s, err := sched.New(sys, ch, graph, opts.Sched)
+	if err != nil {
+		return nil, err
+	}
+	// The initial pair must be schedulable under the configured constraints;
+	// when constraints exclude the conventional default, start on the first
+	// admissible pair instead.
+	var initial zoo.Pair
+	found := false
+	for _, p := range s.Pairs() {
+		if p.Model == opts.InitialModel && p.ProcID == opts.InitialProc {
+			initial = p
+			found = true
+			break
+		}
+	}
+	if !found {
+		if opts.Sched.MaxLatencySec > 0 || opts.Sched.MaxEnergyJ > 0 {
+			initial = s.Pairs()[0]
+		} else {
+			return nil, fmt.Errorf("pipeline: initial pair %s@%s is not a runtime pair",
+				opts.InitialModel, opts.InitialProc)
+		}
+	}
+	return &SHIFT{
+		sys:             sys,
+		scheduler:       s,
+		dml:             loader.New(sys, opts.Eviction),
+		initial:         initial,
+		PrefetchOnStart: opts.Prefetch,
+	}, nil
+}
+
+// Name implements Runner.
+func (s *SHIFT) Name() string { return "SHIFT" }
+
+// LoaderStats exposes the DML counters for reporting.
+func (s *SHIFT) LoaderStats() loader.Stats { return s.dml.Stats() }
+
+// Run implements Runner: the continuous detection loop of the paper.
+func (s *SHIFT) Run(scenario string, frames []scene.Frame) (*Result, error) {
+	s.scheduler.Reset()
+	res := &Result{Method: s.Name(), Scenario: scenario, Records: make([]FrameRecord, 0, len(frames))}
+	cur := s.initial
+
+	if s.PrefetchOnStart {
+		if _, err := s.dml.Prefetch(s.scheduler.Pairs()); err != nil {
+			return nil, err
+		}
+	}
+
+	prev := cur
+	for i, frame := range frames {
+		rec := FrameRecord{Index: frame.Index, Pair: cur}
+		// A swap is recorded on the first frame the new pair serves.
+		rec.Swapped = i > 0 && cur != prev
+		prev = cur
+
+		// 1. Residency: load the active engine if needed.
+		loadCost, err := s.dml.Ensure(cur)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: ensure %v: %w", cur, err)
+		}
+		rec.LoadedModel = loadCost.Lat > 0
+		rec.LatSec += loadCost.Lat.Seconds()
+		rec.EnergyJ += loadCost.Energy
+
+		// 2. Inference on the chosen accelerator.
+		perf, err := s.sys.Perf(cur.Model, cur.ProcID)
+		if err != nil {
+			return nil, err
+		}
+		execCost, err := s.sys.SoC.Exec(cur.ProcID, perf.LatencySec, perf.PowerW)
+		if err != nil {
+			return nil, err
+		}
+		rec.LatSec += execCost.Lat.Seconds()
+		rec.EnergyJ += execCost.Energy
+
+		// 3. Behavioural detection.
+		entry, err := s.sys.Entry(cur.Model)
+		if err != nil {
+			return nil, err
+		}
+		det := entry.Model.Detect(frame, s.sys.Seed)
+		rec.Found, rec.Conf, rec.IoU, rec.Box = det.Found, det.Conf, det.IoU, det.Box
+
+		// 4. Scheduling decision for the next frame, charged to the CPU.
+		ovh, err := s.sys.SoC.Exec("cpu", zoo.SchedulerOverhead.LatencySec, zoo.SchedulerOverhead.PowerW)
+		if err != nil {
+			return nil, err
+		}
+		rec.LatSec += ovh.Lat.Seconds()
+		rec.EnergyJ += ovh.Energy
+
+		dec := s.scheduler.Decide(cur, det, frame)
+		rec.Rescheduled = dec.Rescheduled
+		rec.Similarity = dec.Similarity
+		rec.Gate = dec.Gate
+		cur = dec.Pair
+		res.Records = append(res.Records, rec)
+	}
+	return res, nil
+}
+
+// NonGPUFraction returns the fraction of frames executed off the GPU —
+// Table III's "Non-GPU" column.
+func NonGPUFraction(r *Result) float64 {
+	if len(r.Records) == 0 {
+		return 0
+	}
+	n := 0
+	for _, rec := range r.Records {
+		if rec.Pair.Kind != accel.KindGPU {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Records))
+}
+
+// SwapCount returns the number of active-pair changes (Table III "Model
+// Swaps"). The count includes accelerator-only moves: switching YoloV7 from
+// GPU to DLA is a swap even though the architecture is unchanged.
+func SwapCount(r *Result) int {
+	n := 0
+	for _, rec := range r.Records {
+		if rec.Swapped {
+			n++
+		}
+	}
+	return n
+}
+
+// PairsUsed returns the number of distinct (model, kind) pairs that served
+// at least one frame (Table III "Pairs Used").
+func PairsUsed(r *Result) int {
+	seen := map[string]bool{}
+	for _, rec := range r.Records {
+		seen[rec.Pair.Model+"/"+rec.Pair.Kind.String()] = true
+	}
+	return len(seen)
+}

@@ -1,0 +1,90 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/scene"
+)
+
+// TestSHIFTSurvivesRandomScenarios is the whole-system property test: for
+// arbitrary generated workloads, the SHIFT runtime must complete without
+// error and every record must satisfy the basic invariants (costs positive,
+// IoU in range, chosen pairs schedulable, clock consistency).
+func TestSHIFTSurvivesRandomScenarios(t *testing.T) {
+	e := testEnv(t)
+	for seed := uint64(1); seed <= 8; seed++ {
+		sc := scene.RandomScenario(seed)
+		frames := sc.Render(seed)
+		s := freshSHIFT(t, DefaultOptions())
+		res, err := s.Run(sc.Name, frames)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(res.Records) != len(frames) {
+			t.Fatalf("seed %d: %d records for %d frames", seed, len(res.Records), len(frames))
+		}
+		valid := map[string]bool{}
+		for _, p := range e.sys.RuntimePairs() {
+			valid[p.String()] = true
+		}
+		for i, rec := range res.Records {
+			if rec.LatSec <= 0 || rec.EnergyJ <= 0 {
+				t.Fatalf("seed %d frame %d: non-positive costs %+v", seed, i, rec)
+			}
+			if rec.IoU < 0 || rec.IoU > 1 || rec.Conf < 0 || rec.Conf > 1 {
+				t.Fatalf("seed %d frame %d: out-of-range outcome %+v", seed, i, rec)
+			}
+			if !valid[rec.Pair.String()] {
+				t.Fatalf("seed %d frame %d: unschedulable pair %v", seed, i, rec.Pair)
+			}
+			if rec.Found && rec.Box.Empty() {
+				t.Fatalf("seed %d frame %d: found with empty box", seed, i)
+			}
+			if !rec.Found && (rec.Conf != 0 || rec.IoU != 0) {
+				t.Fatalf("seed %d frame %d: miss with non-zero outcome %+v", seed, i, rec)
+			}
+		}
+		// Aggregate helpers stay in range.
+		if f := NonGPUFraction(res); f < 0 || f > 1 {
+			t.Fatalf("seed %d: bad non-GPU fraction %v", seed, f)
+		}
+		if n := PairsUsed(res); n < 1 {
+			t.Fatalf("seed %d: no pairs used", seed)
+		}
+	}
+}
+
+// TestSHIFTEnergyBoundedByWorstPair: on any workload, SHIFT's steady-state
+// per-frame energy can never exceed the most expensive pair's inference
+// energy plus overhead and amortized loads — a sanity bound on the
+// accounting.
+func TestSHIFTEnergyBoundedByWorstPair(t *testing.T) {
+	e := testEnv(t)
+	var worst float64
+	for _, p := range e.sys.RuntimePairs() {
+		entry, err := e.sys.Entry(p.Model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if en := entry.PerfByKind[p.Kind].EnergyJ(); en > worst {
+			worst = en
+		}
+	}
+	sc := scene.RandomScenario(42)
+	frames := sc.Render(42)
+	s := freshSHIFT(t, DefaultOptions())
+	res, err := s.Run(sc.Name, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var avg float64
+	for _, rec := range res.Records {
+		avg += rec.EnergyJ
+	}
+	avg /= float64(len(res.Records))
+	// Loads amortize to well under one worst-case inference per frame on
+	// any multi-hundred-frame scenario.
+	if avg > worst*1.5 {
+		t.Fatalf("average energy %.3f exceeds plausibility bound %.3f", avg, worst*1.5)
+	}
+}

@@ -1,0 +1,63 @@
+package profile
+
+import (
+	"fmt"
+
+	"repro/internal/scene"
+	"repro/internal/zoo"
+)
+
+// AddModel characterizes a single newly registered model over the same
+// validation frames and merges it into an existing characterization,
+// re-normalizing the pair score tables. This makes zoo extension incremental:
+// adding one model does not require re-running the seven existing models
+// (the paper's offline stage is per-model, so this mirrors how a deployment
+// would actually grow its zoo).
+//
+// The frames must be the characterization's original validation set —
+// confidence-graph edges only form between samples taken on the same frames.
+func (c *Characterization) AddModel(sys *zoo.System, name string, frames []scene.Frame) error {
+	if _, exists := c.ByModel[name]; exists {
+		return fmt.Errorf("profile: model %q already characterized", name)
+	}
+	entry, err := sys.Entry(name)
+	if err != nil {
+		return err
+	}
+	t := &Traits{
+		Model:      entry.Name(),
+		Samples:    make([]Sample, 0, len(frames)),
+		PerfByKind: map[string]zoo.Perf{},
+	}
+	for kind, p := range entry.PerfByKind {
+		t.PerfByKind[kind.String()] = p
+	}
+	var iouSum, confSum float64
+	success := 0
+	for _, f := range frames {
+		det := entry.Model.Detect(f, sys.Seed)
+		t.Samples = append(t.Samples, Sample{
+			FrameIndex: f.Index,
+			Found:      det.Found,
+			Conf:       det.Conf,
+			IoU:        det.IoU,
+		})
+		iouSum += det.IoU
+		confSum += det.Conf
+		if det.IoU >= 0.5 {
+			success++
+		}
+	}
+	if n := len(frames); n > 0 {
+		t.AvgIoU = iouSum / float64(n)
+		t.AvgConf = confSum / float64(n)
+		t.SuccessRate = float64(success) / float64(n)
+	}
+	c.ByModel[name] = t
+	// Pair score normalization is global, so rebuild both tables from the
+	// system's full pair set.
+	c.EnergyScore = map[PairKey]float64{}
+	c.LatencyScore = map[PairKey]float64{}
+	c.normalizePairScores(sys)
+	return nil
+}

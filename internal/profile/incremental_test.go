@@ -1,0 +1,104 @@
+package profile
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/detmodel"
+	"repro/internal/scene"
+	"repro/internal/zoo"
+)
+
+// extendedSystem returns the default system plus a hypothetical quantized
+// model, and the validation frames shared by both characterizations.
+func extendedSystem(t *testing.T) (*zoo.System, []scene.Frame, string) {
+	t.Helper()
+	const name = "YoloV7-INT8"
+	frames := scene.ValidationSet(1, 300)
+	ds := detmodel.DifficultySamples(frames)
+	behaviour, err := detmodel.NewCalibrated(name, detmodel.FamilyYOLO, 0.58, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := zoo.Default(1)
+	entry := &zoo.Entry{
+		Model: behaviour,
+		PerfByKind: map[accel.Kind]zoo.Perf{
+			accel.KindGPU: {LatencySec: 0.045, PowerW: 11.5},
+			accel.KindDLA: {LatencySec: 0.041, PowerW: 4.9},
+		},
+		LoadByPool: map[string]zoo.LoadCost{
+			accel.SoCPoolName: {Bytes: 180 * accel.MB, TimeSec: 0.45, PowerW: 8},
+		},
+	}
+	return zoo.NewSystem(base.SoC, append(base.Entries, entry), 1), frames, name
+}
+
+func TestAddModelIncremental(t *testing.T) {
+	sys, frames, name := extendedSystem(t)
+	// Characterize only the original 8 models, then add the ninth.
+	base := zoo.Default(1)
+	c := Characterize(base, frames)
+	if err := c.AddModel(sys, name, frames); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.ByModel) != 9 {
+		t.Fatalf("%d models after AddModel, want 9", len(c.ByModel))
+	}
+	tr := c.ByModel[name]
+	if len(tr.Samples) != len(frames) {
+		t.Fatalf("new model has %d samples", len(tr.Samples))
+	}
+	if math.Abs(tr.AvgIoU-0.58) > 0.08 {
+		t.Fatalf("new model AvgIoU %.3f, calibrated for 0.58", tr.AvgIoU)
+	}
+}
+
+func TestAddModelMatchesFullCharacterization(t *testing.T) {
+	// Incremental result must equal characterizing the extended system from
+	// scratch: same traits, same normalized scores.
+	sys, frames, name := extendedSystem(t)
+	full := Characterize(sys, frames)
+
+	incr := Characterize(zoo.Default(1), frames)
+	if err := incr.AddModel(sys, name, frames); err != nil {
+		t.Fatal(err)
+	}
+	for model, want := range full.ByModel {
+		got, ok := incr.ByModel[model]
+		if !ok {
+			t.Fatalf("incremental missing %s", model)
+		}
+		if got.AvgIoU != want.AvgIoU || got.SuccessRate != want.SuccessRate {
+			t.Fatalf("%s traits differ: %.4f/%.4f vs %.4f/%.4f",
+				model, got.AvgIoU, got.SuccessRate, want.AvgIoU, want.SuccessRate)
+		}
+	}
+	for key, want := range full.EnergyScore {
+		if got := incr.EnergyScore[key]; got != want {
+			t.Fatalf("energy score for %v differs: %v vs %v", key, got, want)
+		}
+	}
+	for key, want := range full.LatencyScore {
+		if got := incr.LatencyScore[key]; got != want {
+			t.Fatalf("latency score for %v differs: %v vs %v", key, got, want)
+		}
+	}
+}
+
+func TestAddModelRejectsDuplicates(t *testing.T) {
+	sys, frames, _ := extendedSystem(t)
+	c := Characterize(sys, frames)
+	if err := c.AddModel(sys, detmodel.YoloV7, frames); err == nil {
+		t.Fatal("duplicate AddModel should fail")
+	}
+}
+
+func TestAddModelUnknown(t *testing.T) {
+	sys, frames, _ := extendedSystem(t)
+	c := Characterize(sys, frames)
+	if err := c.AddModel(sys, "ghost", frames); err == nil {
+		t.Fatal("unknown model should fail")
+	}
+}

@@ -1,0 +1,166 @@
+// Package rng provides deterministic pseudo-random number generation for the
+// SHIFT simulation substrate.
+//
+// Every stochastic component of the reproduction (scene synthesis, detection
+// noise, latency jitter, power ripple) draws from an rng.Stream forked from a
+// single experiment seed, so that any experiment is bit-reproducible across
+// runs and machines. The generator is xoshiro256**, seeded through splitmix64,
+// following the reference implementations by Blackman and Vigna.
+package rng
+
+import "math"
+
+// Stream is a deterministic random number stream. The zero value is not
+// usable; construct streams with New or Fork.
+type Stream struct {
+	s [4]uint64
+}
+
+// splitmix64 advances the 64-bit state x and returns the next output. It is
+// used only to expand seeds into full xoshiro state.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a stream seeded from seed. Distinct seeds give statistically
+// independent streams.
+func New(seed uint64) *Stream {
+	st := &Stream{}
+	x := seed
+	for i := range st.s {
+		st.s[i] = splitmix64(&x)
+	}
+	// xoshiro must not start from the all-zero state; splitmix64 cannot
+	// produce four zero outputs in a row, but guard anyway.
+	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
+		st.s[0] = 0x9e3779b97f4a7c15
+	}
+	return st
+}
+
+// Fork derives an independent child stream identified by label. Forking the
+// same parent with the same label always yields the same child, which lets
+// subsystems own private streams without coordinating seed arithmetic.
+func (r *Stream) Fork(label string) *Stream {
+	x := r.s[0] ^ rotl(r.s[2], 17)
+	for _, b := range []byte(label) {
+		x = (x ^ uint64(b)) * 0x100000001b3 // FNV-1a style mixing
+	}
+	return New(splitmix64(&x))
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits (xoshiro256**).
+func (r *Stream) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Stream) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation is overkill here;
+	// modulo bias is negligible for the small n used by the simulator, but
+	// rejection sampling keeps the stream exactly uniform.
+	bound := uint64(n)
+	threshold := -bound % bound
+	for {
+		v := r.Uint64()
+		if v >= threshold {
+			return int(v % bound)
+		}
+	}
+}
+
+// Range returns a uniform value in [lo, hi). If hi <= lo it returns lo.
+func (r *Stream) Range(lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Norm returns a normally distributed value with the given mean and standard
+// deviation, using the Box-Muller transform (one value per call; the paired
+// value is discarded to keep the stream's consumption rate simple and
+// deterministic).
+func (r *Stream) Norm(mean, stddev float64) float64 {
+	if stddev <= 0 {
+		return mean
+	}
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// TruncNorm returns a normal sample clamped to [lo, hi]. Clamping (rather
+// than rejection) keeps per-call stream consumption constant, which matters
+// for reproducibility when callers interleave streams.
+func (r *Stream) TruncNorm(mean, stddev, lo, hi float64) float64 {
+	v := r.Norm(mean, stddev)
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Jitter returns base scaled by a relative normal jitter: base*(1+N(0,rel)),
+// clamped to be non-negative. It is the canonical way the accelerator
+// simulator perturbs latency and power around their characterized means.
+func (r *Stream) Jitter(base, rel float64) float64 {
+	v := base * (1 + r.Norm(0, rel))
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Bool returns true with probability p.
+func (r *Stream) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm returns a random permutation of [0, n) using Fisher-Yates.
+func (r *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,49 @@
+package scene
+
+import (
+	"fmt"
+
+	"repro/internal/img"
+	"repro/internal/rng"
+)
+
+// RandomScenario synthesizes a structurally valid random scenario: a chain
+// of 2-8 segments with random textures, paths, distances and visibility
+// gaps. It exists for stress- and property-testing the full pipeline —
+// SHIFT must survive any scenario the generator can produce — and for
+// fuzzing the scheduler with workloads outside the six curated videos.
+func RandomScenario(seed uint64) *Scenario {
+	r := rng.New(seed).Fork("random-scenario")
+	nSegs := 2 + r.Intn(7)
+	s := &Scenario{
+		Name:   fmt.Sprintf("random-%d", seed),
+		Desc:   "randomly generated stress scenario",
+		W:      DefaultW,
+		H:      DefaultH,
+		Indoor: r.Bool(0.3),
+	}
+	// Drone path threads continuously across segments.
+	x, y := r.Range(0.2, 0.8), r.Range(0.2, 0.8)
+	dist := r.Range(0.1, 0.9)
+	for i := 0; i < nSegs; i++ {
+		nx, ny := r.Range(0.05, 0.95), r.Range(0.05, 0.95)
+		nd := clamp01(dist + r.Range(-0.4, 0.4))
+		base := r.Range(90, 180)
+		seg := Segment{
+			Name:          fmt.Sprintf("seg%d", i),
+			Frames:        60 + r.Intn(240),
+			Texture:       img.Texture(r.Intn(5)),
+			IntensityFrom: base,
+			IntensityTo:   base + r.Range(-10, 10),
+			PanSpeed:      r.Range(0, 0.008),
+			FromX:         x, FromY: y, ToX: nx, ToY: ny,
+			DistFrom: dist, DistTo: nd,
+			Contrast: r.Range(0.2, 0.95),
+			Visible:  r.Bool(0.85),
+			NoiseStd: r.Range(1, 4),
+		}
+		s.Segments = append(s.Segments, seg)
+		x, y, dist = nx, ny, nd
+	}
+	return s
+}

@@ -1,0 +1,61 @@
+package scene
+
+import "testing"
+
+func TestRandomScenarioAlwaysValid(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		s := RandomScenario(seed)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestRandomScenarioDeterministic(t *testing.T) {
+	a := RandomScenario(7)
+	b := RandomScenario(7)
+	if a.TotalFrames() != b.TotalFrames() || len(a.Segments) != len(b.Segments) {
+		t.Fatal("random scenario not deterministic")
+	}
+	fa := a.Render(1)
+	fb := b.Render(1)
+	for i := range fa {
+		if !fa[i].Image.Equal(fb[i].Image) {
+			t.Fatalf("frame %d differs", i)
+		}
+	}
+}
+
+func TestRandomScenarioDiversity(t *testing.T) {
+	segCounts := map[int]bool{}
+	textures := map[int]bool{}
+	for seed := uint64(0); seed < 30; seed++ {
+		s := RandomScenario(seed)
+		segCounts[len(s.Segments)] = true
+		for _, seg := range s.Segments {
+			textures[int(seg.Texture)] = true
+		}
+	}
+	if len(segCounts) < 3 {
+		t.Fatalf("segment-count diversity too low: %v", segCounts)
+	}
+	if len(textures) < 4 {
+		t.Fatalf("texture diversity too low: %v", textures)
+	}
+}
+
+func TestRandomScenarioPathContinuity(t *testing.T) {
+	// Consecutive segments must share their junction point so the drone
+	// does not teleport.
+	s := RandomScenario(3)
+	for i := 1; i < len(s.Segments); i++ {
+		prev, cur := s.Segments[i-1], s.Segments[i]
+		if prev.ToX != cur.FromX || prev.ToY != cur.FromY {
+			t.Fatalf("segment %d discontinuous: (%v,%v) -> (%v,%v)",
+				i, prev.ToX, prev.ToY, cur.FromX, cur.FromY)
+		}
+		if prev.DistTo != cur.DistFrom {
+			t.Fatalf("segment %d distance jump", i)
+		}
+	}
+}

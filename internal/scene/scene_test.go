@@ -1,0 +1,330 @@
+package scene
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/img"
+	"repro/internal/rng"
+)
+
+func TestDifficultyBounds(t *testing.T) {
+	cases := []Context{
+		{Present: true, Distance: 0, Contrast: 1, Clutter: 0, Speed: 0},
+		{Present: true, Distance: 1, Contrast: 0, Clutter: 1, Speed: 10},
+		{Present: true, Distance: 0.5, Contrast: 0.5, Clutter: 0.5, Speed: 2},
+		{Present: false},
+	}
+	for _, c := range cases {
+		d := c.Difficulty()
+		if d < 0 || d > 1 {
+			t.Fatalf("Difficulty out of range for %+v: %v", c, d)
+		}
+	}
+}
+
+func TestDifficultyAbsentIsMax(t *testing.T) {
+	c := Context{Present: false, Distance: 0, Contrast: 1}
+	if c.Difficulty() != 1 {
+		t.Fatalf("absent target difficulty = %v, want 1", c.Difficulty())
+	}
+}
+
+func TestDifficultyMonotoneInDistance(t *testing.T) {
+	prev := -1.0
+	for d := 0.0; d <= 1.0; d += 0.1 {
+		c := Context{Present: true, Distance: d, Contrast: 0.8, Clutter: 0.3}
+		diff := c.Difficulty()
+		if diff < prev {
+			t.Fatalf("difficulty decreased with distance at %v", d)
+		}
+		prev = diff
+	}
+}
+
+func TestDifficultyMonotoneInContrast(t *testing.T) {
+	lo := Context{Present: true, Distance: 0.5, Contrast: 0.9, Clutter: 0.3}
+	hi := Context{Present: true, Distance: 0.5, Contrast: 0.2, Clutter: 0.3}
+	if lo.Difficulty() >= hi.Difficulty() {
+		t.Fatal("lower contrast should be harder")
+	}
+}
+
+func TestEasyVsHardSeparation(t *testing.T) {
+	easy := Context{Present: true, Distance: 0.15, Contrast: 0.9, Clutter: 0.05}
+	hard := Context{Present: true, Distance: 0.9, Contrast: 0.3, Clutter: 0.7, Speed: 3}
+	if easy.Difficulty() > 0.30 {
+		t.Fatalf("easy context difficulty %v, want <= 0.30", easy.Difficulty())
+	}
+	if hard.Difficulty() < 0.65 {
+		t.Fatalf("hard context difficulty %v, want >= 0.65", hard.Difficulty())
+	}
+}
+
+func TestScenarioTotalFrames(t *testing.T) {
+	for _, s := range EvaluationSuite() {
+		if got := s.TotalFrames(); got < 500 || got > 2500 {
+			t.Errorf("%s: TotalFrames = %d, outside the paper's 500-2500 range", s.Name, got)
+		}
+	}
+}
+
+func TestEvaluationSuiteShape(t *testing.T) {
+	suite := EvaluationSuite()
+	if len(suite) != 6 {
+		t.Fatalf("suite has %d scenarios, want 6", len(suite))
+	}
+	indoor := 0
+	for _, s := range suite {
+		if s.Indoor {
+			indoor++
+		}
+	}
+	if indoor != 2 {
+		t.Fatalf("suite has %d indoor scenarios, want 2", indoor)
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("scenario2")
+	if err != nil || s.Name != "scenario2" {
+		t.Fatalf("ByName failed: %v %v", s, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName should fail for unknown scenario")
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	s := Scenario2()
+	s.Segments[0].Frames = 20
+	s.Segments = s.Segments[:1]
+	a := s.Render(42)
+	b := s.Render(42)
+	if len(a) != len(b) {
+		t.Fatal("render lengths differ")
+	}
+	for i := range a {
+		if !a[i].Image.Equal(b[i].Image) {
+			t.Fatalf("frame %d images differ across identical renders", i)
+		}
+		if a[i].GT != b[i].GT {
+			t.Fatalf("frame %d ground truth differs", i)
+		}
+	}
+}
+
+func TestRenderSeedSensitivity(t *testing.T) {
+	s := Scenario3()
+	s.Segments[0].Frames = 5
+	s.Segments = s.Segments[:1]
+	a := s.Render(1)
+	b := s.Render(2)
+	if a[0].Image.Equal(b[0].Image) {
+		t.Fatal("different seeds produced identical frames")
+	}
+}
+
+func TestRenderGroundTruthInsideFrame(t *testing.T) {
+	for _, s := range []*Scenario{Scenario1(), Scenario2()} {
+		frames := s.Render(7)
+		for _, f := range frames {
+			if !f.Ctx.Present {
+				if !f.GT.Empty() {
+					t.Fatalf("%s frame %d: absent target has non-empty GT", s.Name, f.Index)
+				}
+				continue
+			}
+			if f.GT.Empty() {
+				t.Fatalf("%s frame %d: visible target has empty GT", s.Name, f.Index)
+			}
+			if f.GT.X < 0 || f.GT.Y < 0 || f.GT.Right() > float64(s.W) || f.GT.Bottom() > float64(s.H) {
+				t.Fatalf("%s frame %d: GT %v outside frame", s.Name, f.Index, f.GT)
+			}
+		}
+	}
+}
+
+func TestRenderTargetActuallyVisible(t *testing.T) {
+	// The sprite must create real pixel structure: the GT region should
+	// differ from the same region of a render with the target removed.
+	s := Scenario3()
+	s.Segments = s.Segments[:1]
+	s.Segments[0].Frames = 3
+	withTarget := s.Render(9)
+	s2 := Scenario3()
+	s2.Segments = s2.Segments[:1]
+	s2.Segments[0].Frames = 3
+	s2.Segments[0].Visible = false
+	withoutTarget := s2.Render(9)
+	f := withTarget[0]
+	g := withoutTarget[0]
+	x, y := int(f.GT.X), int(f.GT.Y)
+	w, h := int(f.GT.W), int(f.GT.H)
+	cropA := f.Image.Crop(x, y, w, h)
+	cropB := g.Image.Crop(x, y, w, h)
+	if ncc := img.NCC(cropA, cropB); ncc > 0.9 {
+		t.Fatalf("target region looks identical with/without sprite (NCC=%v)", ncc)
+	}
+}
+
+func TestSceneNCCDropsAtSegmentBoundary(t *testing.T) {
+	// The core premise of context detection: consecutive frames within a
+	// segment correlate highly; frames across a background change do not.
+	s := Scenario2()
+	frames := s.Render(11)
+	// Within segment 1 (gradient): frames 10 and 11.
+	within := img.NCC(frames[10].Image, frames[11].Image)
+	// Across the gradient->flat boundary at frame 150.
+	across := img.NCC(frames[149].Image, frames[150].Image)
+	if within < 0.8 {
+		t.Fatalf("within-segment NCC too low: %v", within)
+	}
+	if across > within-0.2 {
+		t.Fatalf("cross-boundary NCC %v not clearly below within-segment %v", across, within)
+	}
+}
+
+func TestSpriteSizeTracksDistance(t *testing.T) {
+	s := &Scenario{W: DefaultW, H: DefaultH}
+	near := s.spriteSize(0)
+	far := s.spriteSize(1)
+	if near <= far {
+		t.Fatalf("near sprite %d not larger than far sprite %d", near, far)
+	}
+	if far < 3 {
+		t.Fatalf("far sprite %d below minimum", far)
+	}
+}
+
+func TestScenario2DepartureSegment(t *testing.T) {
+	s := Scenario2()
+	frames := s.Render(5)
+	// Paper: target not detectable past ~frame 450.
+	for _, f := range frames[460:] {
+		if f.Ctx.Present {
+			t.Fatalf("frame %d: target should be absent after departure", f.Index)
+		}
+	}
+	for _, f := range frames[:440] {
+		if !f.Ctx.Present {
+			t.Fatalf("frame %d: target should be present before departure", f.Index)
+		}
+	}
+}
+
+func TestValidationSetProperties(t *testing.T) {
+	frames := ValidationSet(3, 200)
+	if len(frames) != 200 {
+		t.Fatalf("got %d frames", len(frames))
+	}
+	present, textures := 0, map[img.Texture]bool{}
+	for i, f := range frames {
+		if f.Index != i {
+			t.Fatalf("frame %d has index %d", i, f.Index)
+		}
+		if f.Ctx.Present {
+			present++
+			if f.GT.Empty() {
+				t.Fatalf("frame %d present but empty GT", i)
+			}
+		}
+		textures[f.Ctx.Texture] = true
+		if f.Ctx.Distance < 0 || f.Ctx.Distance > 1 {
+			t.Fatalf("distance out of range: %v", f.Ctx.Distance)
+		}
+	}
+	if present < 150 {
+		t.Fatalf("only %d/200 frames have the target present", present)
+	}
+	if len(textures) < 4 {
+		t.Fatalf("validation set covers only %d texture families", len(textures))
+	}
+}
+
+func TestValidationSetDeterministic(t *testing.T) {
+	a := ValidationSet(9, 20)
+	b := ValidationSet(9, 20)
+	for i := range a {
+		if !a[i].Image.Equal(b[i].Image) || a[i].GT != b[i].GT {
+			t.Fatalf("validation frame %d not deterministic", i)
+		}
+	}
+}
+
+func TestRenderSingleControlledContext(t *testing.T) {
+	r := rng.New(13)
+	ctx := Context{Present: true, Distance: 0.2, Contrast: 0.9, Clutter: 0.05, Texture: img.TextureFlat}
+	f := RenderSingle(0, ctx, r)
+	if f.GT.Empty() {
+		t.Fatal("RenderSingle dropped the target")
+	}
+	if f.Ctx != ctx {
+		t.Fatal("RenderSingle mutated context")
+	}
+	// Near target must be big: >= 15% of frame width.
+	if f.GT.W < 0.15*float64(DefaultW) {
+		t.Fatalf("near target too small: %v", f.GT)
+	}
+}
+
+func TestSpeedComputedFromMotion(t *testing.T) {
+	s := Scenario6()
+	frames := s.Render(21)
+	// The "burst" segment (frames 700-999) crosses most of the frame in 300
+	// frames; speed should exceed the cruise segment's.
+	var cruiseAvg, burstAvg float64
+	for _, f := range frames[100:600] {
+		cruiseAvg += f.Ctx.Speed
+	}
+	cruiseAvg /= 500
+	for _, f := range frames[750:950] {
+		burstAvg += f.Ctx.Speed
+	}
+	burstAvg /= 200
+	if burstAvg <= cruiseAvg {
+		t.Fatalf("burst speed %v not above cruise speed %v", burstAvg, cruiseAvg)
+	}
+	if math.IsNaN(burstAvg) {
+		t.Fatal("NaN speed")
+	}
+}
+
+func TestScenarioFastManeuverSpeed(t *testing.T) {
+	s := ScenarioFastManeuver()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	frames := s.Render(1)
+	var avgSpeed float64
+	n := 0
+	for _, f := range frames[1:150] {
+		avgSpeed += f.Ctx.Speed
+		n++
+	}
+	avgSpeed /= float64(n)
+	// The dashes cross most of the 72 px frame in 25 frames: ~2+ px/frame,
+	// several times the evaluation suite's cruise speeds.
+	if avgSpeed < 1.5 {
+		t.Fatalf("fast-maneuver average speed %.2f px/frame, want >= 1.5", avgSpeed)
+	}
+	if _, err := ByName("fastmaneuver"); err != nil {
+		t.Fatal("fastmaneuver not resolvable via ByName")
+	}
+}
+
+func BenchmarkRenderFrame(b *testing.B) {
+	s := Scenario1()
+	s.Segments = s.Segments[:1]
+	s.Segments[0].Frames = 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Render(uint64(i))
+	}
+}
+
+func BenchmarkValidationSet100(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = ValidationSet(uint64(i), 100)
+	}
+}

@@ -1,0 +1,319 @@
+// Package sched implements the SHIFT scheduler (paper §III-B, Algorithm 1):
+// the runtime decision maker that, for each incoming frame, either keeps the
+// current (model, accelerator) pair or selects a new one.
+//
+// The scheduler combines:
+//
+//   - Context detection: the normalized cross-correlation (NCC, Eq. 1)
+//     between the last two frames and between the last two bounding-box
+//     crops. The minimum of the two, multiplied by the current confidence,
+//     gates re-scheduling — stable context with a confident model means no
+//     decision work at all.
+//   - Confidence-graph prediction: when the gate opens, the current model's
+//     confidence is translated into accuracy predictions for every model via
+//     a confidence-graph lookup (package confgraph).
+//   - Momentum buffers: predictions are averaged over the last Momentum
+//     re-scheduling events to damp frame-to-frame noise.
+//   - Knob-weighted scoring: candidates meeting the accuracy threshold are
+//     scored as W_acc·R + W_energy·E + W_lat·L over bigger-is-better
+//     normalized traits, and the argmax wins. When no candidate meets the
+//     threshold all models are considered, so the scheduler degrades to
+//     pure efficiency optimization — the paper's "conservative allocation
+//     during periods without valid detections".
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/confgraph"
+	"repro/internal/detmodel"
+	"repro/internal/img"
+	"repro/internal/profile"
+	"repro/internal/scene"
+	"repro/internal/zoo"
+)
+
+// Knobs are the user-tunable objective weights of Algorithm 1 (line 8).
+type Knobs struct {
+	Accuracy float64
+	Energy   float64
+	Latency  float64
+}
+
+// Config collects the scheduler parameters. Defaults mirror Table III's
+// caption: goal accuracy 0.25, momentum 30, knobs (1.0, 0.5, 0.5); the
+// confidence-graph distance threshold 0.5 lives in confgraph.Options.
+type Config struct {
+	// AccuracyThreshold is both the re-scheduling gate level and the goal
+	// accuracy candidates must meet (Algorithm 1 lines 3 and 15).
+	AccuracyThreshold float64
+	// Momentum is the number of predictions averaged per model (line 12-13).
+	Momentum int
+	// Knobs weight accuracy, energy and latency in candidate scoring.
+	Knobs Knobs
+	// BoxCropSize is the edge length to which bounding-box crops are
+	// normalized before NCC comparison.
+	BoxCropSize int
+	// SwapMargin is the score advantage a challenger pair needs over the
+	// incumbent before a swap happens. Swaps cost engine loads, so a small
+	// hysteresis keeps the scheduler from thrashing when candidate scores
+	// jitter — most visibly during no-detection stretches, where the paper
+	// notes SHIFT "conservatively allocates resources" rather than cycling
+	// models (its total swap count in Table III is only 42).
+	SwapMargin float64
+	// DisableGate is an ablation switch: when set, the NCC keep-gate is
+	// bypassed and the full decision path runs on every frame. Used by
+	// BenchmarkAblationNoNCC to quantify what the gate saves.
+	DisableGate bool
+	// MaxLatencySec and MaxEnergyJ are optional hard per-inference
+	// constraints (0 = unconstrained): pairs whose characterized mean
+	// latency or energy exceed a limit are excluded from scheduling
+	// entirely — the paper's "adapt to specific system constraints" in its
+	// strictest form. Construction fails if no pair satisfies them.
+	MaxLatencySec float64
+	MaxEnergyJ    float64
+}
+
+// DefaultConfig returns the paper's Table III configuration.
+func DefaultConfig() Config {
+	return Config{
+		AccuracyThreshold: 0.25,
+		Momentum:          30,
+		Knobs:             Knobs{Accuracy: 1.0, Energy: 0.5, Latency: 0.5},
+		BoxCropSize:       24,
+		SwapMargin:        0.03,
+	}
+}
+
+// Decision reports one scheduling outcome with its diagnostics, consumed by
+// the pipeline (for accounting) and by the figure generators.
+type Decision struct {
+	// Pair is the chosen (model, processor) for the next frame.
+	Pair zoo.Pair
+	// Rescheduled is false when the NCC gate kept the current pair.
+	Rescheduled bool
+	// Similarity is s = min(NCC(images), NCC(boxes)).
+	Similarity float64
+	// Gate is s × c, compared against AccuracyThreshold.
+	Gate float64
+	// Predicted holds the momentum-averaged accuracy predictions (R in
+	// Algorithm 1) when a re-schedule happened.
+	Predicted map[string]float64
+	// MetThreshold reports whether any candidate met the accuracy goal
+	// (when false, the scheduler fell back to efficiency-only selection).
+	MetThreshold bool
+}
+
+// Scheduler is the SHIFT runtime decision maker. It is stateful (NCC history
+// and momentum buffers) and not safe for concurrent use.
+type Scheduler struct {
+	cfg   Config
+	graph *confgraph.Graph
+	ch    *profile.Characterization
+	sys   *zoo.System
+	pairs []zoo.Pair
+
+	buffers map[string][]float64 // per-model momentum windows
+	lastImg *img.Image
+	lastBox *img.Image
+}
+
+// New builds a scheduler over the system's runtime pairs.
+func New(sys *zoo.System, ch *profile.Characterization, graph *confgraph.Graph, cfg Config) (*Scheduler, error) {
+	if cfg.Momentum <= 0 {
+		return nil, fmt.Errorf("sched: Momentum must be positive, got %d", cfg.Momentum)
+	}
+	if cfg.BoxCropSize <= 0 {
+		return nil, fmt.Errorf("sched: BoxCropSize must be positive, got %d", cfg.BoxCropSize)
+	}
+	if cfg.AccuracyThreshold < 0 || cfg.AccuracyThreshold > 1 {
+		return nil, fmt.Errorf("sched: AccuracyThreshold %v outside [0,1]", cfg.AccuracyThreshold)
+	}
+	if cfg.MaxLatencySec < 0 || cfg.MaxEnergyJ < 0 {
+		return nil, fmt.Errorf("sched: negative constraint (latency %v, energy %v)",
+			cfg.MaxLatencySec, cfg.MaxEnergyJ)
+	}
+	pairs := sys.RuntimePairs()
+	if cfg.MaxLatencySec > 0 || cfg.MaxEnergyJ > 0 {
+		var kept []zoo.Pair
+		for _, p := range pairs {
+			e, err := sys.Entry(p.Model)
+			if err != nil {
+				return nil, err
+			}
+			perf := e.PerfByKind[p.Kind]
+			if cfg.MaxLatencySec > 0 && perf.LatencySec > cfg.MaxLatencySec {
+				continue
+			}
+			if cfg.MaxEnergyJ > 0 && perf.EnergyJ() > cfg.MaxEnergyJ {
+				continue
+			}
+			kept = append(kept, p)
+		}
+		pairs = kept
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("sched: no runtime pair satisfies the constraints (latency <= %vs, energy <= %vJ)",
+			cfg.MaxLatencySec, cfg.MaxEnergyJ)
+	}
+	return &Scheduler{
+		cfg:     cfg,
+		graph:   graph,
+		ch:      ch,
+		sys:     sys,
+		pairs:   pairs,
+		buffers: map[string][]float64{},
+	}, nil
+}
+
+// Pairs returns the candidate pairs the scheduler selects from.
+func (s *Scheduler) Pairs() []zoo.Pair { return s.pairs }
+
+// Reset clears NCC history and momentum buffers (new video stream).
+func (s *Scheduler) Reset() {
+	s.buffers = map[string][]float64{}
+	s.lastImg = nil
+	s.lastBox = nil
+}
+
+// boxCrop extracts and normalizes the bounding-box region of frame.
+func (s *Scheduler) boxCrop(frame *img.Image, det detmodel.Detection) *img.Image {
+	if !det.Found || det.Box.Empty() {
+		return nil
+	}
+	crop := frame.Crop(int(det.Box.X), int(det.Box.Y), int(det.Box.W), int(det.Box.H))
+	return crop.Resize(s.cfg.BoxCropSize, s.cfg.BoxCropSize)
+}
+
+// similarity computes s = min(NCC(lastImage, current), NCC(lastBox, curBox)),
+// Algorithm 1 line 2. Missing history or a lost detection yields 0 for that
+// component, forcing the gate open — exactly when re-evaluation is needed.
+func (s *Scheduler) similarity(frame *img.Image, curBox *img.Image) float64 {
+	imgNCC := 0.0
+	if s.lastImg != nil {
+		imgNCC = img.NCC(s.lastImg, frame)
+	}
+	boxNCC := 0.0
+	if s.lastBox != nil && curBox != nil {
+		boxNCC = img.NCC(s.lastBox, curBox)
+	}
+	if boxNCC < imgNCC {
+		return boxNCC
+	}
+	return imgNCC
+}
+
+// Decide implements Algorithm 1 for one frame: cur is the pair that just
+// ran, det its detection on frame. The returned decision names the pair to
+// use for the next frame.
+func (s *Scheduler) Decide(cur zoo.Pair, det detmodel.Detection, frame scene.Frame) Decision {
+	curBox := s.boxCrop(frame.Image, det)
+	sim := s.similarity(frame.Image, curBox)
+	// Update history for the next frame regardless of the outcome.
+	s.lastImg = frame.Image
+	if curBox != nil {
+		s.lastBox = curBox
+	}
+
+	gate := sim * det.Conf
+	if !s.cfg.DisableGate && gate >= s.cfg.AccuracyThreshold {
+		return Decision{Pair: cur, Rescheduled: false, Similarity: sim, Gate: gate}
+	}
+
+	// Lines 9-14: confidence-graph prediction with momentum averaging.
+	preds, ok := s.graph.Predict(cur.Model, det.Conf)
+	if !ok {
+		// The graph has never seen this model: keep the current pair, the
+		// only trait source available.
+		return Decision{Pair: cur, Rescheduled: false, Similarity: sim, Gate: gate}
+	}
+	for _, p := range preds {
+		buf := append(s.buffers[p.Model], p.Acc)
+		if len(buf) > s.cfg.Momentum {
+			buf = buf[len(buf)-s.cfg.Momentum:]
+		}
+		s.buffers[p.Model] = buf
+	}
+	r := make(map[string]float64, len(s.buffers))
+	for model, buf := range s.buffers {
+		sum := 0.0
+		for _, v := range buf {
+			sum += v
+		}
+		r[model] = sum / float64(len(buf))
+	}
+
+	// Lines 15-18: accuracy filter with fallback to all.
+	valid := map[string]bool{}
+	for model, acc := range r {
+		if acc >= s.cfg.AccuracyThreshold {
+			valid[model] = true
+		}
+	}
+	met := len(valid) > 0
+	if !met {
+		for model := range r {
+			valid[model] = true
+		}
+	}
+
+	// Lines 19-23 extended to (model, accelerator) pairs: score every
+	// candidate pair whose model passed the filter; energy and latency are
+	// the per-pair normalized traits.
+	score := func(p zoo.Pair) float64 {
+		key := profile.PairKey{Model: p.Model, Kind: p.Kind}
+		return r[p.Model]*s.cfg.Knobs.Accuracy +
+			s.ch.EnergyScore[key]*s.cfg.Knobs.Energy +
+			s.ch.LatencyScore[key]*s.cfg.Knobs.Latency
+	}
+	best := cur
+	bestScore := -1.0
+	for _, p := range s.candidatesSorted() {
+		if !valid[p.Model] {
+			continue
+		}
+		sc := score(p)
+		// Strictly-greater comparison plus deterministic candidate order
+		// makes ties resolve stably.
+		if sc > bestScore {
+			bestScore = sc
+			best = p
+		}
+	}
+	// Hysteresis: swapping pays a load, so the challenger must beat the
+	// incumbent by SwapMargin. When the incumbent's model failed the
+	// accuracy filter, the swap is unconditional.
+	if best != cur && valid[cur.Model] {
+		if bestScore < score(cur)+s.cfg.SwapMargin {
+			best = cur
+		}
+	}
+	return Decision{
+		Pair:         best,
+		Rescheduled:  true,
+		Similarity:   sim,
+		Gate:         gate,
+		Predicted:    r,
+		MetThreshold: met,
+	}
+}
+
+// candidatesSorted returns pairs in deterministic order with the single
+// preferred processor per (model, kind): among same-kind processors the
+// lexicographically first (e.g. dla0 over dla1) hosts single-stream
+// inference; the loader may still spread prefetched models across both DLAs.
+func (s *Scheduler) candidatesSorted() []zoo.Pair {
+	seen := map[string]bool{}
+	out := make([]zoo.Pair, 0, len(s.pairs))
+	for _, p := range s.pairs {
+		key := p.Model + "/" + p.Kind.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}

@@ -1,0 +1,194 @@
+// Package textplot renders the paper's figures as ASCII charts: multi-series
+// line charts for the timeline figures (Figs. 2-4), horizontal bar charts
+// for comparisons (Fig. 1), and aligned tables for Tables I, III and IV.
+// Output is plain text suitable for terminals and EXPERIMENTS.md.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// LineChart renders one or more series into a width×height character grid
+// with a y-axis scale and per-series glyphs. Series are downsampled to the
+// chart width by averaging.
+func LineChart(title string, series []Series, width, height int) string {
+	if width < 8 || height < 2 || len(series) == 0 {
+		return title + "\n(chart too small)\n"
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	for _, s := range series {
+		for _, v := range s.Values {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+	}
+	if maxLen == 0 {
+		return title + "\n(no data)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		ds := resample(s.Values, width)
+		for x, v := range ds {
+			if math.IsNaN(v) {
+				continue
+			}
+			y := int((v - lo) / (hi - lo) * float64(height-1))
+			row := height - 1 - y
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][x] = g
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for i, row := range grid {
+		label := ""
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%8.3f", hi)
+		case height - 1:
+			label = fmt.Sprintf("%8.3f", lo)
+		default:
+			label = strings.Repeat(" ", 8)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", 8), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  0%sframe %d\n", strings.Repeat(" ", 8),
+		strings.Repeat(" ", maxInt(width-8-len(fmt.Sprint(maxLen)), 1)), maxLen)
+	legend := make([]string, 0, len(series))
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", glyphs[si%len(glyphs)], s.Name))
+	}
+	fmt.Fprintf(&b, "legend: %s\n", strings.Join(legend, "  "))
+	return b.String()
+}
+
+// resample reduces (or stretches) values to exactly n points by window
+// averaging; missing input yields NaN columns.
+func resample(values []float64, n int) []float64 {
+	out := make([]float64, n)
+	if len(values) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	for i := 0; i < n; i++ {
+		lo := i * len(values) / n
+		hi := (i + 1) * len(values) / n
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > len(values) {
+			hi = len(values)
+		}
+		var sum float64
+		for _, v := range values[lo:hi] {
+			sum += v
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+// BarChart renders named values as horizontal bars scaled to maxWidth.
+func BarChart(title string, labels []string, values []float64, maxWidth int) string {
+	if len(labels) != len(values) {
+		return title + "\n(label/value mismatch)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	maxVal := 0.0
+	maxLabel := 0
+	for i, v := range values {
+		if v > maxVal {
+			maxVal = v
+		}
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	for i, v := range values {
+		bars := 0
+		if maxVal > 0 {
+			bars = int(v / maxVal * float64(maxWidth))
+		}
+		fmt.Fprintf(&b, "%-*s |%s %.4g\n", maxLabel, labels[i], strings.Repeat("=", bars), v)
+	}
+	return b.String()
+}
+
+// Table renders rows with aligned columns; the first row is the header,
+// separated by a rule.
+func Table(title string, rows [][]string) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if len(rows) == 0 {
+		return b.String()
+	}
+	widths := make([]int, 0)
+	for _, row := range rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(row []string) {
+		parts := make([]string, len(row))
+		for i, cell := range row {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+		}
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(parts, " | "))
+	}
+	writeRow(rows[0])
+	rule := make([]string, len(rows[0]))
+	for i := range rule {
+		w := widths[i]
+		rule[i] = strings.Repeat("-", w)
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(rule, " | "))
+	for _, row := range rows[1:] {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,120 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineChartBasics(t *testing.T) {
+	s := []Series{
+		{Name: "a", Values: []float64{0, 1, 2, 3, 4, 5}},
+		{Name: "b", Values: []float64{5, 4, 3, 2, 1, 0}},
+	}
+	out := LineChart("test chart", s, 40, 10)
+	if !strings.Contains(out, "test chart") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("series glyphs missing")
+	}
+	if !strings.Contains(out, "legend: *=a  o=b") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	// Scale labels present.
+	if !strings.Contains(out, "5.000") || !strings.Contains(out, "0.000") {
+		t.Fatalf("scale labels missing:\n%s", out)
+	}
+}
+
+func TestLineChartDegenerate(t *testing.T) {
+	if out := LineChart("t", nil, 40, 10); !strings.Contains(out, "too small") {
+		t.Fatalf("empty series: %q", out)
+	}
+	if out := LineChart("t", []Series{{Name: "a"}}, 40, 10); !strings.Contains(out, "no data") {
+		t.Fatalf("no data: %q", out)
+	}
+	// Constant series must not divide by zero.
+	out := LineChart("t", []Series{{Name: "a", Values: []float64{2, 2, 2}}}, 20, 5)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("constant series not drawn:\n%s", out)
+	}
+}
+
+func TestResample(t *testing.T) {
+	vals := []float64{1, 1, 3, 3}
+	out := resample(vals, 2)
+	if len(out) != 2 || out[0] != 1 || out[1] != 3 {
+		t.Fatalf("resample down: %v", out)
+	}
+	up := resample([]float64{1, 2}, 4)
+	if len(up) != 4 {
+		t.Fatalf("resample up length: %v", up)
+	}
+	for _, v := range resample(nil, 3) {
+		if v == v { // NaN check
+			t.Fatal("resample of empty should produce NaN")
+		}
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("bars", []string{"short", "a-longer-label"}, []float64{1, 2}, 20)
+	if !strings.Contains(out, "bars") {
+		t.Fatal("title missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 lines, got %d:\n%s", len(lines), out)
+	}
+	// The larger value gets the longer bar.
+	if strings.Count(lines[2], "=") <= strings.Count(lines[1], "=") {
+		t.Fatalf("bar lengths not proportional:\n%s", out)
+	}
+	if out := BarChart("t", []string{"a"}, []float64{1, 2}, 10); !strings.Contains(out, "mismatch") {
+		t.Fatal("mismatched inputs not reported")
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	out := BarChart("z", []string{"a", "b"}, []float64{0, 0}, 20)
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatalf("zero-value bars missing labels:\n%s", out)
+	}
+}
+
+func TestTable(t *testing.T) {
+	rows := [][]string{
+		{"Model", "IoU"},
+		{"YoloV7", "0.618"},
+		{"Tiny", "0.533"},
+	}
+	out := Table("Table IV", rows)
+	if !strings.Contains(out, "Table IV") {
+		t.Fatal("title missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title + header + rule + 2 rows
+		t.Fatalf("want 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// All data lines align to the same width.
+	w := len(lines[1])
+	for _, l := range lines[2:] {
+		if len(l) != w {
+			t.Fatalf("misaligned table:\n%s", out)
+		}
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	if out := Table("t", nil); !strings.Contains(out, "t") {
+		t.Fatalf("empty table: %q", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	rows := [][]string{{"a", "b", "c"}, {"1"}}
+	out := Table("", rows)
+	if !strings.Contains(out, "a") || !strings.Contains(out, "1") {
+		t.Fatalf("ragged rows dropped content:\n%s", out)
+	}
+}

@@ -1,0 +1,127 @@
+// Package track implements the lightweight visual tracker that the Marlin
+// baseline [5] alternates with DNN inference: normalized cross-correlation
+// template matching over a local search window, with template refresh and a
+// tracker-confidence signal that tells the policy when to fall back to the
+// DNN.
+//
+// Operating on the same synthesized pixels the rest of the system sees, the
+// tracker exhibits the failure mode that motivates Marlin's design: it is
+// nearly free compared to a DNN but drifts when the target's appearance or
+// the background changes, and it cannot re-acquire a lost target.
+package track
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/img"
+)
+
+// Config tunes the tracker.
+type Config struct {
+	// SearchRadius is how far (in pixels) the target may move between
+	// frames and still be found.
+	SearchRadius int
+	// MinScore is the NCC score under which the tracker declares itself
+	// lost (Marlin then re-runs the DNN).
+	MinScore float64
+	// TemplateBlend controls template refresh: 0 keeps the original
+	// template forever, 1 replaces it fully each frame. Partial blending
+	// resists drift while following slow appearance change.
+	TemplateBlend float64
+}
+
+// DefaultConfig returns tracker settings tuned for the evaluation scenarios.
+func DefaultConfig() Config {
+	return Config{SearchRadius: 10, MinScore: 0.55, TemplateBlend: 0.15}
+}
+
+// Tracker tracks a single target by template matching.
+type Tracker struct {
+	cfg      Config
+	template *img.Image
+	box      geom.Rect
+	active   bool
+}
+
+// New returns an idle tracker; call Init with a detection to start tracking.
+func New(cfg Config) (*Tracker, error) {
+	if cfg.SearchRadius <= 0 {
+		return nil, fmt.Errorf("track: SearchRadius must be positive, got %d", cfg.SearchRadius)
+	}
+	if cfg.TemplateBlend < 0 || cfg.TemplateBlend > 1 {
+		return nil, fmt.Errorf("track: TemplateBlend %v outside [0,1]", cfg.TemplateBlend)
+	}
+	return &Tracker{cfg: cfg}, nil
+}
+
+// Active reports whether the tracker currently holds a target.
+func (t *Tracker) Active() bool { return t.active }
+
+// Box returns the current target box (meaningful only while Active).
+func (t *Tracker) Box() geom.Rect { return t.box }
+
+// Init (re)initializes the tracker from a detector box on the given frame.
+func (t *Tracker) Init(frame *img.Image, box geom.Rect) {
+	if box.Empty() {
+		t.Drop()
+		return
+	}
+	t.template = crop(frame, box)
+	t.box = box
+	t.active = true
+}
+
+// Drop discards the target.
+func (t *Tracker) Drop() {
+	t.active = false
+	t.template = nil
+	t.box = geom.Rect{}
+}
+
+// Step advances the tracker on the next frame. It returns the tracked box
+// and the NCC confidence of the match. If the tracker is inactive or the
+// best match falls below MinScore, ok is false and the target is dropped.
+func (t *Tracker) Step(frame *img.Image) (box geom.Rect, score float64, ok bool) {
+	if !t.active || t.template == nil {
+		return geom.Rect{}, 0, false
+	}
+	// Search window around the previous position.
+	r := t.cfg.SearchRadius
+	x0 := int(t.box.X) - r
+	y0 := int(t.box.Y) - r
+	w := int(t.box.W) + 2*r
+	h := int(t.box.H) + 2*r
+	window := frame.Crop(x0, y0, w, h)
+	dx, dy, best, found := img.NCCSearch(window, t.template)
+	if !found || best < t.cfg.MinScore {
+		t.Drop()
+		return geom.Rect{}, best, false
+	}
+	t.box = geom.Rect{
+		X: float64(x0 + dx),
+		Y: float64(y0 + dy),
+		W: t.box.W,
+		H: t.box.H,
+	}
+	t.refreshTemplate(frame)
+	return t.box, best, true
+}
+
+// refreshTemplate blends the current appearance into the template.
+func (t *Tracker) refreshTemplate(frame *img.Image) {
+	if t.cfg.TemplateBlend == 0 {
+		return
+	}
+	cur := crop(frame, t.box)
+	a := t.cfg.TemplateBlend
+	for i := range t.template.Pix {
+		old := float64(t.template.Pix[i])
+		neu := float64(cur.Pix[i])
+		t.template.Pix[i] = uint8(old*(1-a) + neu*a + 0.5)
+	}
+}
+
+func crop(frame *img.Image, box geom.Rect) *img.Image {
+	return frame.Crop(int(box.X), int(box.Y), int(box.W), int(box.H))
+}
