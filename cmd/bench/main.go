@@ -1,0 +1,270 @@
+// Command bench executes the reproduction's headline performance benchmarks
+// outside `go test` and records the results as BENCH_<date>.json, so the
+// perf trajectory of the hot paths (tracker NCC, SHIFT frame loop, offline
+// characterization) is tracked commit over commit.
+//
+// Usage:
+//
+//	go run ./cmd/bench [-out BENCH_2026-07-28.json] [-baseline BENCH_old.json]
+//
+// With -baseline, per-benchmark speedups against the older file are computed
+// and embedded. Wall-clock results measure the harness itself; the headline
+// block records simulated metrics (virtual seconds and Joules), which are
+// deterministic per seed and must not drift when only performance changes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/experiments"
+	"repro/internal/img"
+	"repro/internal/pipeline"
+	"repro/internal/rng"
+	"repro/internal/scene"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	// Unit names what one op is (e.g. "frame", "env", "call").
+	Unit        string  `json:"unit"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// Doc is the serialized benchmark document.
+type Doc struct {
+	Schema     string             `json:"schema"`
+	Date       string             `json:"date"`
+	GoVersion  string             `json:"go_version"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Results    map[string]Result  `json:"results"`
+	Headline   map[string]float64 `json:"headline"`
+	// Baseline and Speedup are present when -baseline is given: the older
+	// run's results and current-vs-baseline wall-clock ratios.
+	Baseline map[string]Result  `json:"baseline,omitempty"`
+	Speedup  map[string]float64 `json:"speedup,omitempty"`
+	Notes    string             `json:"notes,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02")),
+		"output JSON path")
+	basePath := flag.String("baseline", "", "optional older BENCH_*.json to compute speedups against")
+	notes := flag.String("notes", "", "free-form notes recorded in the document")
+	flag.Parse()
+
+	// Load the baseline before spending a minute on benchmarks, so a bad
+	// path fails immediately.
+	var baseDoc map[string]Result
+	if *basePath != "" {
+		var err error
+		if baseDoc, err = loadBaseline(*basePath); err != nil {
+			fatal(err)
+		}
+	}
+
+	env, err := experiments.NewEnv(1, experiments.DefaultValidationFrames)
+	if err != nil {
+		fatal(err)
+	}
+
+	doc := &Doc{
+		Schema:     "repro-bench/v1",
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Results:    map[string]Result{},
+		Headline:   map[string]float64{},
+		Notes:      *notes,
+	}
+
+	run := func(name, unit string, fn func(b *testing.B)) {
+		fmt.Fprintf(os.Stderr, "benchmarking %s...\n", name)
+		r := testing.Benchmark(fn)
+		doc.Results[name] = Result{
+			Unit:        unit,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  r.N,
+		}
+	}
+
+	// SHIFTFrame: per-frame cost of the full SHIFT loop (load + exec +
+	// detect + decide) — mirrors BenchmarkSHIFTFrame in bench_test.go.
+	sc2 := scene.Scenario2()
+	frames2 := env.Frames(sc2)
+	run("SHIFTFrame", "frame", func(b *testing.B) {
+		shift, err := pipeline.NewSHIFT(env.System(), env.Ch, env.Graph, pipeline.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		done := 0
+		for done < b.N {
+			res, err := shift.Run(sc2.Name, frames2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			done += len(res.Records)
+		}
+	})
+
+	// MarlinFrame: per-frame cost of the tracker-heavy Marlin baseline —
+	// dominated by NCCSearch template matching.
+	sc1 := scene.Scenario1()
+	frames1 := env.Frames(sc1)
+	run("MarlinFrame", "frame", func(b *testing.B) {
+		b.ReportAllocs()
+		done := 0
+		for done < b.N {
+			m, err := baseline.NewMarlin(env.System(), baseline.DefaultMarlinConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := m.Run(sc1.Name, frames1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			done += len(res.Records)
+		}
+	})
+
+	// Characterization: the full offline stage (validation render + zoo
+	// profiling + graph build), fresh seed per iteration to defeat caches —
+	// mirrors BenchmarkCharacterization.
+	run("Characterization", "env", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.NewEnv(uint64(i+1), 300); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// RenderScenario1: scenario synthesis per frame.
+	run("RenderScenario1", "frame", func(b *testing.B) {
+		b.ReportAllocs()
+		done := 0
+		for done < b.N {
+			done += len(sc1.Render(uint64(done + 1)))
+		}
+	})
+
+	// TableIII: the full six-scenario, six-method main results table.
+	run("TableIII", "table", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.TableIII(env, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// NCC / NCCSearch micro-benchmarks on tracker-scale inputs.
+	r := rng.New(1)
+	imgA := randomImage(r, 72, 72)
+	imgB := randomImage(r, 72, 72)
+	run("NCC72", "call", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			img.NCC(imgA, imgB)
+		}
+	})
+	search := randomImage(r, 41, 41)
+	tpl := search.Crop(10, 10, 21, 21)
+	run("NCCSearch41x41t21", "call", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			img.NCCSearch(search, tpl)
+		}
+	})
+
+	// Headline simulated metrics: deterministic per seed; a perf-only change
+	// must leave them untouched.
+	t3, err := experiments.TableIII(env, nil)
+	if err != nil {
+		fatal(err)
+	}
+	record := func(method, prefix string) {
+		s, ok := t3.Summary(method)
+		if !ok {
+			fatal(fmt.Errorf("missing %s summary", method))
+		}
+		doc.Headline[prefix+"_iou"] = s.AvgIoU
+		doc.Headline[prefix+"_time_s"] = s.AvgTimeSec
+		doc.Headline[prefix+"_energy_j"] = s.AvgEnergyJ
+		doc.Headline[prefix+"_swaps"] = float64(s.Swaps)
+	}
+	record("SHIFT", "shift")
+	record("Marlin", "marlin")
+
+	if baseDoc != nil {
+		doc.Baseline = baseDoc
+		doc.Speedup = map[string]float64{}
+		for name, cur := range doc.Results {
+			if base, ok := baseDoc[name]; ok && cur.NsPerOp > 0 {
+				doc.Speedup[name] = base.NsPerOp / cur.NsPerOp
+			}
+		}
+	}
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	report(doc)
+}
+
+// loadBaseline reads an older document's results for speedup computation.
+func loadBaseline(path string) (map[string]Result, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var old Doc
+	if err := json.Unmarshal(raw, &old); err != nil {
+		return nil, fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	return old.Results, nil
+}
+
+// report prints a human-readable summary to stderr.
+func report(doc *Doc) {
+	for name, r := range doc.Results {
+		line := fmt.Sprintf("%-20s %12.0f ns/%-5s %8d B/op %6d allocs/op",
+			name, r.NsPerOp, r.Unit, r.BytesPerOp, r.AllocsPerOp)
+		if s, ok := doc.Speedup[name]; ok {
+			line += fmt.Sprintf("   %.2fx vs baseline", s)
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+}
+
+func randomImage(r *rng.Stream, w, h int) *img.Image {
+	m := img.New(w, h)
+	for i := range m.Pix {
+		m.Pix[i] = uint8(r.Intn(256))
+	}
+	return m
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

@@ -141,10 +141,27 @@ func frameSalt(f scene.Frame) uint64 {
 	return h
 }
 
+// FrameSalt exposes the deterministic frame-content salt so batch consumers
+// (the offline characterization stage runs every zoo model over the same
+// validation frames) can hash each frame once and share the salt across
+// models via DetectSalted.
+func FrameSalt(f scene.Frame) uint64 { return frameSalt(f) }
+
 // Detect runs the simulated model on a frame. seed is the experiment seed;
 // the draw is fully determined by (model name, seed, frame content).
 func (m *Model) Detect(f scene.Frame, seed uint64) Detection {
-	r := rng.New(seed ^ frameSalt(f)).Fork("det:" + m.Name)
+	return m.DetectSalted(f, seed, frameSalt(f))
+}
+
+// DetectSalted is Detect with the frame salt precomputed by FrameSalt;
+// outputs are identical to Detect for salt == FrameSalt(f).
+func (m *Model) DetectSalted(f scene.Frame, seed, salt uint64) Detection {
+	// Stack-allocated streams: one simulated detection runs per frame on the
+	// hot pipeline loop, and the derived stream never outlives the call.
+	var base, det rng.Stream
+	base.Reseed(seed ^ salt)
+	base.Fork2Into("det:", m.Name, &det)
+	r := &det
 
 	if !f.Ctx.Present || f.GT.Empty() {
 		fp := m.FPBase * (1 + 2*f.Ctx.Clutter)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/confgraph"
 	"repro/internal/metrics"
+	"repro/internal/par"
 	"repro/internal/pipeline"
 	"repro/internal/scene"
 	"repro/internal/sched"
@@ -96,6 +97,53 @@ func Figure5(env *Env, cfg SweepConfig) (*Figure5Result, error) {
 		env.Frames(sc)
 	}
 	// Pre-build graphs per distance threshold.
+	graphs, err := buildSweepGraphs(env, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Enumerate the grid in its canonical nested order, then run the
+	// configurations over a worker pool: each point builds fresh SHIFT
+	// runtimes over fresh systems and only reads the shared render cache,
+	// characterization and prebuilt graphs, so results land in their grid
+	// slot independent of scheduling order.
+	var grid []SweepPoint
+	for _, accK := range cfg.AccKnobs {
+		for _, enK := range cfg.EnergyKnobs {
+			for _, latK := range cfg.LatencyKnobs {
+				for _, thr := range cfg.AccThresholds {
+					for _, mom := range cfg.Momentums {
+						for _, dt := range cfg.DistThresholds {
+							grid = append(grid, SweepPoint{
+								AccKnob: accK, EnergyKnob: enK, LatencyKnob: latK,
+								AccThreshold: thr, Momentum: mom, DistThreshold: dt,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	points := make([]SweepPoint, len(grid))
+	err = par.MapErr(len(grid), func(i int) error {
+		pt, err := runSweepPoint(env, graphs[grid[i].DistThreshold], scenarios, grid[i])
+		if err != nil {
+			return err
+		}
+		points[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure5Result{Points: points, Correlations: map[string][3]float64{}}
+	res.computeCorrelations()
+	return res, nil
+}
+
+// buildSweepGraphs constructs one confidence graph per distance threshold
+// (construction bakes the threshold into the prediction map).
+func buildSweepGraphs(env *Env, cfg SweepConfig) (map[float64]*confgraph.Graph, error) {
 	graphs := map[float64]*confgraph.Graph{}
 	for _, dt := range cfg.DistThresholds {
 		opts := confgraph.DefaultOptions()
@@ -106,30 +154,7 @@ func Figure5(env *Env, cfg SweepConfig) (*Figure5Result, error) {
 		}
 		graphs[dt] = g
 	}
-
-	res := &Figure5Result{Correlations: map[string][3]float64{}}
-	for _, accK := range cfg.AccKnobs {
-		for _, enK := range cfg.EnergyKnobs {
-			for _, latK := range cfg.LatencyKnobs {
-				for _, thr := range cfg.AccThresholds {
-					for _, mom := range cfg.Momentums {
-						for _, dt := range cfg.DistThresholds {
-							pt, err := runSweepPoint(env, graphs[dt], scenarios, SweepPoint{
-								AccKnob: accK, EnergyKnob: enK, LatencyKnob: latK,
-								AccThreshold: thr, Momentum: mom, DistThreshold: dt,
-							})
-							if err != nil {
-								return nil, err
-							}
-							res.Points = append(res.Points, pt)
-						}
-					}
-				}
-			}
-		}
-	}
-	res.computeCorrelations()
-	return res, nil
+	return graphs, nil
 }
 
 // runSweepPoint executes SHIFT with one configuration over the scenarios.

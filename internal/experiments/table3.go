@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/metrics"
+	"repro/internal/par"
 	"repro/internal/pipeline"
 	"repro/internal/scene"
 	"repro/internal/textplot"
@@ -55,31 +56,58 @@ func tableIIIMethods() []methodFactory {
 // TableIII reproduces the main results: Marlin, Marlin Tiny, SHIFT and the
 // three Oracles over the given scenarios (the full evaluation suite when
 // scenarios is nil).
+//
+// The (method, scenario) grid fans out over a worker pool: every cell owns a
+// fresh runner and zoo.System (clean virtual clock, meters and memory) and
+// reads the shared render cache and characterization read-only, so cell
+// results are independent of scheduling order. Assembly back into Summaries
+// and PerScenario happens sequentially in grid order, keeping the output
+// identical to the sequential loop (TestTableIIIParallelMatchesSequential).
 func TableIII(env *Env, scenarios []*scene.Scenario) (*TableIIIResult, error) {
 	if scenarios == nil {
 		scenarios = scene.EvaluationSuite()
 	}
+	// Render up front so workers hit the frame cache read-only.
+	for _, sc := range scenarios {
+		env.Frames(sc)
+	}
+	methods := tableIIIMethods()
+	type cell struct {
+		result  *pipeline.Result
+		summary metrics.Summary
+	}
+	cells := make([]cell, len(methods)*len(scenarios))
+	err := par.MapErr(len(cells), func(i int) error {
+		mf := methods[i/len(scenarios)]
+		sc := scenarios[i%len(scenarios)]
+		runner, err := mf.build(env)
+		if err != nil {
+			return fmt.Errorf("experiments: build %s: %w", mf.name, err)
+		}
+		r, err := runner.Run(sc.Name, env.Frames(sc))
+		if err != nil {
+			return fmt.Errorf("experiments: run %s on %s: %w", mf.name, sc.Name, err)
+		}
+		// Report under the factory's display name (e.g. the runner may
+		// self-describe as "Marlin Tiny" already; keep them aligned).
+		r.Method = mf.name
+		s := metrics.Summarize(r)
+		s.Method = mf.name
+		cells[i] = cell{result: r, summary: s}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	res := &TableIIIResult{PerScenario: map[string]map[string]*pipeline.Result{}}
-	for _, mf := range tableIIIMethods() {
-		var perScenario []metrics.Summary
+	for mi, mf := range methods {
+		perScenario := make([]metrics.Summary, 0, len(scenarios))
 		res.PerScenario[mf.name] = map[string]*pipeline.Result{}
-		for _, sc := range scenarios {
-			runner, err := mf.build(env)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: build %s: %w", mf.name, err)
-			}
-			frames := env.Frames(sc)
-			r, err := runner.Run(sc.Name, frames)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: run %s on %s: %w", mf.name, sc.Name, err)
-			}
-			// Report under the factory's display name (e.g. the runner may
-			// self-describe as "Marlin Tiny" already; keep them aligned).
-			r.Method = mf.name
-			res.PerScenario[mf.name][sc.Name] = r
-			s := metrics.Summarize(r)
-			s.Method = mf.name
-			perScenario = append(perScenario, s)
+		for si, sc := range scenarios {
+			c := cells[mi*len(scenarios)+si]
+			res.PerScenario[mf.name][sc.Name] = c.result
+			perScenario = append(perScenario, c.summary)
 		}
 		combined, err := metrics.Combine(perScenario)
 		if err != nil {

@@ -14,6 +14,12 @@ import "math"
 // sizes. If either image has zero variance the result is defined as 0 when
 // the other varies and 1 when both are flat (two featureless frames are
 // maximally similar for scheduling purposes).
+//
+// The computation is a single pass accumulating the integer running sums
+// Σp, Σc, Σpc, Σp² and Σc²; the centered sums are then recovered exactly in
+// integer arithmetic (n·Σpc − Σp·Σc and n·Σp² − (Σp)², in which the common
+// 1/n factors cancel), so the only floating-point error is one conversion,
+// two square roots and a division.
 func NCC(p, c *Image) float64 {
 	w := p.W
 	if c.W < w {
@@ -26,8 +32,66 @@ func NCC(p, c *Image) float64 {
 	if w <= 0 || h <= 0 {
 		return 0
 	}
-	n := float64(w * h)
+	n := uint64(w) * uint64(h)
+	if n > nccExactMaxPixels {
+		return nccTwoPass(p, c, w, h)
+	}
 
+	var sp, sc, spc, spp, scc uint64
+	for y := 0; y < h; y++ {
+		prow := p.Pix[y*p.W : y*p.W+w]
+		crow := c.Pix[y*c.W : y*c.W+w : y*c.W+w]
+		for x, pv8 := range prow {
+			cv8 := crow[x]
+			pv := uint64(pv8)
+			cv := uint64(cv8)
+			sp += pv
+			sc += cv
+			spc += pv * cv
+			spp += sqU8[pv8]
+			scc += sqU8[cv8]
+		}
+	}
+	return nccFromSums(n, sp, sc, spc, spp, scc)
+}
+
+// sqU8 tabulates v² for 8-bit pixel values: the NCC inner loops are integer-
+// multiply bound, and an L1 load replaces one of the two multiplies.
+var sqU8 = func() (t [256]uint64) {
+	for i := range t {
+		t[i] = uint64(i * i)
+	}
+	return
+}()
+
+// nccExactMaxPixels bounds the region size for which the integer-sum NCC is
+// exact: every product below (n·Σp², Σp·Σc, …) is at most n²·255², which
+// must stay under 2⁶³. Regions beyond ~11.9M pixels fall back to the
+// two-pass floating-point formulation.
+const nccExactMaxPixels = 11_000_000
+
+// nccFromSums evaluates Eq. 1 from the five integer running sums over an
+// n-pixel region. The centered second moments n²·Var and the centered cross
+// term are formed exactly in integer arithmetic; zero variance is therefore
+// detected exactly, preserving the flat-image conventions documented on NCC.
+func nccFromSums(n, sp, sc, spc, spp, scc uint64) float64 {
+	varP := n*spp - sp*sp // n²·Var(p), exact and non-negative
+	varC := n*scc - sc*sc
+	if varP == 0 && varC == 0 {
+		return 1
+	}
+	if varP == 0 || varC == 0 {
+		return 0
+	}
+	cross := int64(n*spc) - int64(sp*sc)
+	return float64(cross) / (math.Sqrt(float64(varP)) * math.Sqrt(float64(varC)))
+}
+
+// nccTwoPass is the reference two-pass formulation of Eq. 1, kept as the
+// fallback for regions too large for exact integer sums and as the oracle
+// the equivalence tests check the fast path against.
+func nccTwoPass(p, c *Image, w, h int) float64 {
+	n := float64(w * h)
 	var sumP, sumC float64
 	for y := 0; y < h; y++ {
 		prow := p.Pix[y*p.W : y*p.W+w]
@@ -61,12 +125,158 @@ func NCC(p, c *Image) float64 {
 	return cross / (math.Sqrt(varP) * math.Sqrt(varC))
 }
 
+// Moments returns the integer pixel moments (Σp, Σp²) over the whole image.
+// Callers that compare a stream of equally sized images (the scheduler's
+// context gate) carry these across calls so NCCMoments needs only one fused
+// pass per comparison.
+func (m *Image) Moments() (sum, sumSq uint64) {
+	for _, p := range m.Pix {
+		sum += uint64(p)
+		sumSq += sqU8[p]
+	}
+	return sum, sumSq
+}
+
+// NCCMoments computes NCC(p, c) for two images of identical size, reusing
+// p's precomputed moments (from Moments or a previous NCCMoments call) so
+// only c's moments and the cross term are accumulated — the incremental form
+// the scheduler uses on consecutive frames. It returns c's moments for reuse
+// as the p-moments of the next comparison. If the sizes differ it falls back
+// to the general NCC over the common region and c's moments are computed
+// over the full image.
+func NCCMoments(p, c *Image, pSum, pSumSq uint64) (score float64, cSum, cSumSq uint64) {
+	if p.W != c.W || p.H != c.H || uint64(len(p.Pix)) > nccExactMaxPixels {
+		cSum, cSumSq = c.Moments()
+		return NCC(p, c), cSum, cSumSq
+	}
+	n := len(p.Pix)
+	if n == 0 {
+		return 0, 0, 0
+	}
+	var sc, scc, spc uint64
+	cpix := c.Pix[:n]
+	if n <= nccPackedMaxPixels {
+		// The pass is integer-multiply bound, and for regions this small
+		// Σp·c and Σc² each stay below 2³², so a single multiply
+		// c·(p + c·2³²) accumulates both in disjoint halves of one word.
+		// Two independent accumulator pairs break the add dependency chains
+		// (uint64 addition is associative, so the split is exact).
+		ppix := p.Pix[:n]
+		var acc0, acc1, sc0, sc1 uint64
+		i := 0
+		for ; i+1 < n; i += 2 {
+			cv0 := uint64(cpix[i])
+			cv1 := uint64(cpix[i+1])
+			sc0 += cv0
+			sc1 += cv1
+			acc0 += cv0 * (uint64(ppix[i]) | cv0<<32)
+			acc1 += cv1 * (uint64(ppix[i+1]) | cv1<<32)
+		}
+		for ; i < n; i++ {
+			cv := uint64(cpix[i])
+			sc0 += cv
+			acc0 += cv * (uint64(ppix[i]) | cv<<32)
+		}
+		acc := acc0 + acc1
+		sc = sc0 + sc1
+		spc = acc & 0xffffffff
+		scc = acc >> 32
+	} else {
+		for i, pv8 := range p.Pix {
+			cv8 := cpix[i]
+			sc += uint64(cv8)
+			scc += sqU8[cv8]
+			spc += uint64(pv8) * uint64(cv8)
+		}
+	}
+	return nccFromSums(uint64(n), pSum, sc, spc, pSumSq, scc), sc, scc
+}
+
+// nccPackedMaxPixels bounds the packed-accumulator fast path: with n·255²
+// < 2³² the low half (Σp·c) can never carry into the high half (Σc²).
+const nccPackedMaxPixels = 66000
+
 // NCCSearch slides template t over search image s and returns the offset
 // (bestX, bestY) maximizing NCC, along with the best score. Search is
 // exhaustive over all placements where the template fits fully inside s; the
 // tracker restricts s to a window around the previous detection, so the cost
 // stays small. If the template does not fit, ok is false.
+//
+// Per-window mean and variance come from summed-area tables of s and s², so
+// only the cross term Σ(window·template) is accumulated per placement; the
+// template's moments and standard deviation are hoisted out of the loop.
+// Scores are bit-identical to NCC(s.Crop(x, y, t.W, t.H), t), and ties
+// resolve to the first (row-major) placement exactly as the naive search.
 func NCCSearch(s, t *Image) (bestX, bestY int, bestScore float64, ok bool) {
+	if t.W > s.W || t.H > s.H || t.W <= 0 || t.H <= 0 {
+		return 0, 0, 0, false
+	}
+	if uint64(s.W)*uint64(s.H) > nccExactMaxPixels {
+		return nccSearchNaive(s, t)
+	}
+	n := uint64(t.W) * uint64(t.H)
+	st, stt := t.Moments()
+	varT := n*stt - st*st // n²·Var(t), exact
+	stdT := math.Sqrt(float64(varT))
+
+	// Summed-area tables of s and s², flat with an extra zero row/column so
+	// window sums need no boundary checks.
+	iw := s.W + 1
+	sat := make([]uint64, iw*(s.H+1))
+	satSq := make([]uint64, iw*(s.H+1))
+	for y := 1; y <= s.H; y++ {
+		row := s.Pix[(y-1)*s.W : y*s.W]
+		prev := sat[(y-1)*iw : y*iw]
+		cur := sat[y*iw : (y+1)*iw]
+		prevSq := satSq[(y-1)*iw : y*iw]
+		curSq := satSq[y*iw : (y+1)*iw]
+		var rs, rss uint64
+		for x, v8 := range row {
+			rs += uint64(v8)
+			rss += sqU8[v8]
+			cur[x+1] = prev[x+1] + rs
+			curSq[x+1] = prevSq[x+1] + rss
+		}
+	}
+
+	bestScore = math.Inf(-1)
+	for y := 0; y+t.H <= s.H; y++ {
+		top := y * iw
+		bot := (y + t.H) * iw
+		for x := 0; x+t.W <= s.W; x++ {
+			sw := sat[bot+x+t.W] - sat[top+x+t.W] - sat[bot+x] + sat[top+x]
+			sww := satSq[bot+x+t.W] - satSq[top+x+t.W] - satSq[bot+x] + satSq[top+x]
+			varW := n*sww - sw*sw
+
+			var score float64
+			switch {
+			case varW == 0 && varT == 0:
+				score = 1
+			case varW == 0 || varT == 0:
+				score = 0
+			default:
+				var spc uint64
+				for dy := 0; dy < t.H; dy++ {
+					srow := s.Pix[(y+dy)*s.W+x : (y+dy)*s.W+x+t.W]
+					trow := t.Pix[dy*t.W : dy*t.W+t.W : dy*t.W+t.W]
+					for i, sv := range srow {
+						spc += uint64(sv) * uint64(trow[i])
+					}
+				}
+				cross := int64(n*spc) - int64(sw*st)
+				score = float64(cross) / (math.Sqrt(float64(varW)) * stdT)
+			}
+			if score > bestScore {
+				bestScore, bestX, bestY = score, x, y
+			}
+		}
+	}
+	return bestX, bestY, bestScore, true
+}
+
+// nccSearchNaive is the exhaustive crop-and-compare search, kept as the
+// fallback for oversized images and as the oracle for equivalence tests.
+func nccSearchNaive(s, t *Image) (bestX, bestY int, bestScore float64, ok bool) {
 	if t.W > s.W || t.H > s.H || t.W <= 0 || t.H <= 0 {
 		return 0, 0, 0, false
 	}
@@ -85,13 +295,39 @@ func NCCSearch(s, t *Image) (bestX, bestY int, bestScore float64, ok bool) {
 }
 
 // CropInto copies the w×h region of m at (x, y) into dst (whose size defines
-// the region). Out-of-bounds source pixels read as 0.
+// the region). Out-of-bounds source pixels read as 0. In-bounds spans are
+// copied row-wise.
 func (m *Image) CropInto(x, y int, dst *Image) {
 	for dy := 0; dy < dst.H; dy++ {
 		sy := y + dy
-		for dx := 0; dx < dst.W; dx++ {
-			dst.Pix[dy*dst.W+dx] = m.At(x+dx, sy)
+		drow := dst.Pix[dy*dst.W : (dy+1)*dst.W]
+		if sy < 0 || sy >= m.H {
+			clearRow(drow)
+			continue
 		}
+		// In-bounds source columns [x0, x1) map to dst columns starting at d0.
+		x0, d0 := x, 0
+		if x0 < 0 {
+			d0 = -x0
+			x0 = 0
+		}
+		x1 := x + dst.W
+		if x1 > m.W {
+			x1 = m.W
+		}
+		if x1 <= x0 || d0 >= dst.W {
+			clearRow(drow)
+			continue
+		}
+		clearRow(drow[:d0])
+		copy(drow[d0:d0+x1-x0], m.Pix[sy*m.W+x0:sy*m.W+x1])
+		clearRow(drow[d0+x1-x0:])
+	}
+}
+
+func clearRow(row []uint8) {
+	for i := range row {
+		row[i] = 0
 	}
 }
 

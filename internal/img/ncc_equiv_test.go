@@ -1,0 +1,225 @@
+package img
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// nccReference is the original two-pass float formulation of Eq. 1 over the
+// top-left-aligned common region — the oracle the fast paths are checked
+// against.
+func nccReference(p, c *Image) float64 {
+	w := p.W
+	if c.W < w {
+		w = c.W
+	}
+	h := p.H
+	if c.H < h {
+		h = c.H
+	}
+	if w <= 0 || h <= 0 {
+		return 0
+	}
+	return nccTwoPass(p, c, w, h)
+}
+
+// cropReference is the original per-pixel At-based crop.
+func cropReference(m *Image, x, y int, dst *Image) {
+	for dy := 0; dy < dst.H; dy++ {
+		sy := y + dy
+		for dx := 0; dx < dst.W; dx++ {
+			dst.Pix[dy*dst.W+dx] = m.At(x+dx, sy)
+		}
+	}
+}
+
+func TestNCCMatchesReference(t *testing.T) {
+	r := rng.New(101)
+	for i := 0; i < 500; i++ {
+		w := 1 + r.Intn(40)
+		h := 1 + r.Intn(40)
+		a := randomImage(r, w, h)
+		b := randomImage(r, w, h)
+		fast := NCC(a, b)
+		ref := nccReference(a, b)
+		if math.Abs(fast-ref) > 1e-9 {
+			t.Fatalf("iter %d (%dx%d): fast %v vs reference %v", i, w, h, fast, ref)
+		}
+	}
+}
+
+func TestNCCMatchesReferenceMismatchedSizes(t *testing.T) {
+	r := rng.New(102)
+	for i := 0; i < 300; i++ {
+		a := randomImage(r, 1+r.Intn(30), 1+r.Intn(30))
+		b := randomImage(r, 1+r.Intn(30), 1+r.Intn(30))
+		fast := NCC(a, b)
+		ref := nccReference(a, b)
+		if math.Abs(fast-ref) > 1e-9 {
+			t.Fatalf("iter %d (%dx%d vs %dx%d): fast %v vs reference %v",
+				i, a.W, a.H, b.W, b.H, fast, ref)
+		}
+	}
+}
+
+func TestNCCZeroVarianceEdgeCases(t *testing.T) {
+	r := rng.New(103)
+	flatA := New(9, 7)
+	flatA.Fill(13)
+	flatB := New(9, 7)
+	flatB.Fill(240)
+	varied := randomImage(r, 9, 7)
+	if got := NCC(flatA, flatB); got != 1 {
+		t.Fatalf("flat vs flat = %v, want exactly 1", got)
+	}
+	if got := NCC(flatA, varied); got != 0 {
+		t.Fatalf("flat vs varied = %v, want exactly 0", got)
+	}
+	if got := NCC(varied, flatB); got != 0 {
+		t.Fatalf("varied vs flat = %v, want exactly 0", got)
+	}
+	// Near-flat: one pixel differs by 1 — variance must be detected as
+	// nonzero by the exact integer arithmetic.
+	nearFlat := New(9, 7)
+	nearFlat.Fill(13)
+	nearFlat.Pix[5] = 14
+	if got := NCC(nearFlat, nearFlat); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("near-flat self NCC = %v, want 1", got)
+	}
+}
+
+func TestNCCMomentsMatchesNCC(t *testing.T) {
+	r := rng.New(104)
+	prev := randomImage(r, 24, 24)
+	pSum, pSumSq := prev.Moments()
+	for i := 0; i < 100; i++ {
+		cur := randomImage(r, 24, 24)
+		score, cSum, cSumSq := NCCMoments(prev, cur, pSum, pSumSq)
+		if want := NCC(prev, cur); score != want {
+			t.Fatalf("iter %d: NCCMoments %v != NCC %v", i, score, want)
+		}
+		wantSum, wantSumSq := cur.Moments()
+		if cSum != wantSum || cSumSq != wantSumSq {
+			t.Fatalf("iter %d: returned moments (%d,%d), want (%d,%d)",
+				i, cSum, cSumSq, wantSum, wantSumSq)
+		}
+		prev, pSum, pSumSq = cur, cSum, cSumSq
+	}
+}
+
+func TestNCCMomentsMismatchedSizesFallsBack(t *testing.T) {
+	r := rng.New(105)
+	a := randomImage(r, 20, 20)
+	b := randomImage(r, 16, 24)
+	aSum, aSumSq := a.Moments()
+	score, bSum, bSumSq := NCCMoments(a, b, aSum, aSumSq)
+	if want := NCC(a, b); score != want {
+		t.Fatalf("fallback score %v != NCC %v", score, want)
+	}
+	wantSum, wantSumSq := b.Moments()
+	if bSum != wantSum || bSumSq != wantSumSq {
+		t.Fatalf("fallback moments (%d,%d), want full-image (%d,%d)",
+			bSum, bSumSq, wantSum, wantSumSq)
+	}
+}
+
+func TestNCCSearchMatchesNaive(t *testing.T) {
+	r := rng.New(106)
+	for i := 0; i < 120; i++ {
+		sw := 4 + r.Intn(28)
+		sh := 4 + r.Intn(28)
+		s := randomImage(r, sw, sh)
+		tw := 1 + r.Intn(sw)
+		th := 1 + r.Intn(sh)
+		tpl := s.Crop(r.Intn(sw-tw+1), r.Intn(sh-th+1), tw, th)
+		fx, fy, fs, fok := NCCSearch(s, tpl)
+		nx, ny, ns, nok := nccSearchNaive(s, tpl)
+		if fok != nok {
+			t.Fatalf("iter %d: ok %v vs %v", i, fok, nok)
+		}
+		if fx != nx || fy != ny {
+			t.Fatalf("iter %d (%dx%d in %dx%d): fast (%d,%d) vs naive (%d,%d), scores %v vs %v",
+				i, tw, th, sw, sh, fx, fy, nx, ny, fs, ns)
+		}
+		if fs != ns {
+			t.Fatalf("iter %d: fast score %v != naive score %v", i, fs, ns)
+		}
+	}
+}
+
+func TestNCCSearchFlatRegions(t *testing.T) {
+	// Flat search image and flat template: every window ties at score 1, so
+	// the first placement must win, matching the naive search.
+	s := New(10, 8)
+	s.Fill(77)
+	tpl := New(3, 3)
+	tpl.Fill(12)
+	fx, fy, fs, ok := NCCSearch(s, tpl)
+	nx, ny, ns, nok := nccSearchNaive(s, tpl)
+	if !ok || !nok {
+		t.Fatal("search reported !ok")
+	}
+	if fx != nx || fy != ny || fs != ns {
+		t.Fatalf("fast (%d,%d,%v) vs naive (%d,%d,%v)", fx, fy, fs, nx, ny, ns)
+	}
+	// Varied template over a flat image: all scores 0, first placement wins.
+	r := rng.New(107)
+	varied := randomImage(r, 3, 3)
+	fx, fy, fs, _ = NCCSearch(s, varied)
+	nx, ny, ns, _ = nccSearchNaive(s, varied)
+	if fx != nx || fy != ny || fs != ns {
+		t.Fatalf("varied-template: fast (%d,%d,%v) vs naive (%d,%d,%v)", fx, fy, fs, nx, ny, ns)
+	}
+}
+
+func TestCropIntoMatchesReference(t *testing.T) {
+	r := rng.New(108)
+	for i := 0; i < 300; i++ {
+		m := randomImage(r, 1+r.Intn(20), 1+r.Intn(20))
+		w := 1 + r.Intn(24)
+		h := 1 + r.Intn(24)
+		x := r.Intn(50) - 25
+		y := r.Intn(50) - 25
+		fast := New(w, h)
+		fast.Fill(99) // stale contents must be fully overwritten
+		ref := New(w, h)
+		m.CropInto(x, y, fast)
+		cropReference(m, x, y, ref)
+		if !fast.Equal(ref) {
+			t.Fatalf("iter %d: CropInto(%d,%d,%dx%d) of %dx%d differs from reference",
+				i, x, y, w, h, m.W, m.H)
+		}
+	}
+}
+
+func FuzzNCCEquivalence(f *testing.F) {
+	f.Add(uint64(1), 8, 8, 8, 8)
+	f.Add(uint64(2), 1, 1, 5, 5)
+	f.Add(uint64(3), 17, 3, 3, 17)
+	f.Fuzz(func(t *testing.T, seed uint64, aw, ah, bw, bh int) {
+		clampDim := func(v int) int {
+			if v < 0 {
+				v = -v
+			}
+			return v%48 + 1
+		}
+		r := rng.New(seed)
+		a := randomImage(r, clampDim(aw), clampDim(ah))
+		b := randomImage(r, clampDim(bw), clampDim(bh))
+		fast := NCC(a, b)
+		ref := nccReference(a, b)
+		if math.Abs(fast-ref) > 1e-9 {
+			t.Fatalf("NCC %v vs reference %v (a %dx%d, b %dx%d)", fast, ref, a.W, a.H, b.W, b.H)
+		}
+		if b.W <= a.W && b.H <= a.H {
+			fx, fy, fs, fok := NCCSearch(a, b)
+			nx, ny, ns, nok := nccSearchNaive(a, b)
+			if fok != nok || fx != nx || fy != ny || fs != ns {
+				t.Fatalf("NCCSearch (%d,%d,%v,%v) vs naive (%d,%d,%v,%v)",
+					fx, fy, fs, fok, nx, ny, ns, nok)
+			}
+		}
+	})
+}

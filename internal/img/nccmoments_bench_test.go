@@ -1,0 +1,29 @@
+package img
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func BenchmarkNCCMoments72(b *testing.B) {
+	r := rng.New(3)
+	p := randomImage(r, 72, 72)
+	c := randomImage(r, 72, 72)
+	pSum, pSumSq := p.Moments()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = NCCMoments(p, c, pSum, pSumSq)
+	}
+}
+
+func BenchmarkResizeKernel(b *testing.B) {
+	r := rng.New(4)
+	src := randomImage(r, 14, 14)
+	dst := New(24, 24)
+	k := NewResizeKernel(14, 14, 24, 24)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.Apply(src, dst)
+	}
+}

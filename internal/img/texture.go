@@ -100,21 +100,86 @@ func fillGradient(m *Image, base, phase float64) {
 // fillValueNoise lays down octaves of smooth value noise. The lattice values
 // derive from a hash of the lattice coordinates shifted by phase, so sliding
 // phase scrolls the texture coherently.
+//
+// Each octave samples a coarse lattice whose points are shared by many
+// pixels, so the lattice values are hashed once per octave into a small grid
+// and the per-pixel work reduces to the bilinear blend. Accumulation order
+// (base, then octaves in ascending order) and every floating-point
+// expression match the direct per-pixel evaluation, so the output is
+// bit-identical to computing valueNoise at every pixel.
 func fillValueNoise(m *Image, base, phase float64, octaves int, amp float64, r *rng.Stream) {
 	seed := r.Uint64()
-	for y := 0; y < m.H; y++ {
-		for x := 0; x < m.W; x++ {
-			v := base
-			freq := 1.0 / 32.0
-			a := amp
-			for o := 0; o < octaves; o++ {
-				fx := (float64(x) + phase*float64(m.W)) * freq
-				fy := float64(y) * freq
-				v += a * (valueNoise(fx, fy, seed+uint64(o)*0x9e37) - 0.5)
-				freq *= 2
-				a *= 0.55
-			}
-			m.Pix[y*m.W+x] = clampU8(v)
+	if m.W <= 0 || m.H <= 0 {
+		return
+	}
+	buf := make([]float64, m.W*m.H)
+	for i := range buf {
+		buf[i] = base
+	}
+	phaseW := phase * float64(m.W)
+	freq := 1.0 / 32.0
+	a := amp
+	for o := 0; o < octaves; o++ {
+		addNoiseOctave(buf, m.W, m.H, phaseW, freq, a, seed+uint64(o)*0x9e37)
+		freq *= 2
+		a *= 0.55
+	}
+	for i, v := range buf {
+		m.Pix[i] = clampU8(v)
+	}
+}
+
+// addNoiseOctave accumulates a*(valueNoise(fx, fy, seed)-0.5) for one octave
+// into buf, hashing each lattice point once instead of once per pixel.
+func addNoiseOctave(buf []float64, w, h int, phaseW, freq, a float64, seed uint64) {
+	fxAt := func(x int) float64 { return (float64(x) + phaseW) * freq }
+	ixMin := int(math.Floor(fxAt(0)))
+	if v := int(math.Floor(fxAt(w - 1))); v < ixMin {
+		ixMin = v
+	}
+	ixMax := int(math.Floor(fxAt(0)))
+	if v := int(math.Floor(fxAt(w - 1))); v > ixMax {
+		ixMax = v
+	}
+	iyMin := int(math.Floor(0 * freq))
+	iyMax := int(math.Floor(float64(h-1) * freq))
+	cw := ixMax - ixMin + 2 // +1 for the x0+1 sample, +1 for inclusive range
+	ch := iyMax - iyMin + 2
+	grid := make([]float64, cw*ch)
+	for iy := 0; iy < ch; iy++ {
+		for ix := 0; ix < cw; ix++ {
+			hsh := latticeHash(uint64(int64(ix+ixMin)+1<<20), uint64(int64(iy+iyMin)+1<<20), seed)
+			grid[iy*cw+ix] = float64(hsh%1024) / 1023
+		}
+	}
+	// The horizontal lattice cell and fade weights depend only on x, so they
+	// are computed once per octave instead of once per pixel.
+	ixs := make([]int, w)
+	sxs := make([]float64, w)
+	gxs := make([]float64, w) // 1-sx
+	for x := 0; x < w; x++ {
+		fx := (float64(x) + phaseW) * freq
+		x0 := math.Floor(fx)
+		fxFrac := fx - x0
+		sx := fxFrac * fxFrac * (3 - 2*fxFrac)
+		ixs[x] = int(x0) - ixMin
+		sxs[x] = sx
+		gxs[x] = 1 - sx
+	}
+	for y := 0; y < h; y++ {
+		fy := float64(y) * freq
+		y0 := math.Floor(fy)
+		fyFrac := fy - y0
+		sy := fyFrac * fyFrac * (3 - 2*fyFrac)
+		gy := 1 - sy
+		row0 := grid[(int(y0)-iyMin)*cw:]
+		row1 := grid[(int(y0)-iyMin+1)*cw:]
+		out := buf[y*w : y*w+w]
+		for x := range out {
+			ix := ixs[x]
+			top := row0[ix]*gxs[x] + row0[ix+1]*sxs[x]
+			bot := row1[ix]*gxs[x] + row1[ix+1]*sxs[x]
+			out[x] += a * (top*gy + bot*sy - 0.5)
 		}
 	}
 }

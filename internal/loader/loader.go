@@ -76,6 +76,18 @@ type Loader struct {
 	resident map[string]map[string]*resident // pool -> key -> resident
 	pinned   map[string]string               // pool -> key exempt from eviction
 	stats    Stats
+	// infos caches the per-pair lookups (processor, pool, entry, residency
+	// key) that Ensure would otherwise re-resolve on every frame.
+	infos map[zoo.Pair]*pairInfo
+}
+
+// pairInfo is the resolved, immutable context of one (model, processor)
+// pair.
+type pairInfo struct {
+	proc  *accel.Proc
+	pool  *accel.MemPool
+	entry *zoo.Entry
+	key   string
 }
 
 // New creates a loader over the system with the given eviction policy.
@@ -85,7 +97,31 @@ func New(sys *zoo.System, policy EvictionPolicy) *Loader {
 		policy:   policy,
 		resident: map[string]map[string]*resident{},
 		pinned:   map[string]string{},
+		infos:    map[zoo.Pair]*pairInfo{},
 	}
+}
+
+// info resolves and caches the pair's processor, pool, entry and residency
+// key. Support errors are not cached (they surface per call as before).
+func (l *Loader) info(pair zoo.Pair) (*pairInfo, error) {
+	if pi, ok := l.infos[pair]; ok {
+		return pi, nil
+	}
+	proc, err := l.sys.SoC.Proc(pair.ProcID)
+	if err != nil {
+		return nil, err
+	}
+	e, err := l.sys.Entry(pair.Model)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := l.sys.SoC.PoolOf(pair.ProcID)
+	if err != nil {
+		return nil, err
+	}
+	pi := &pairInfo{proc: proc, pool: pool, entry: e, key: residencyKey(pair.Model, proc.Kind)}
+	l.infos[pair] = pi
+	return pi, nil
 }
 
 // residencyKey names an engine within its pool.
@@ -140,22 +176,14 @@ func (l *Loader) loadCost(model, poolName string) (zoo.LoadCost, error) {
 // recency is refreshed). The engine being requested is pinned for the
 // duration of the call so it can never evict itself.
 func (l *Loader) Ensure(pair zoo.Pair) (accel.Cost, error) {
-	proc, err := l.sys.SoC.Proc(pair.ProcID)
+	pi, err := l.info(pair)
 	if err != nil {
 		return accel.Cost{}, err
 	}
-	e, err := l.sys.Entry(pair.Model)
-	if err != nil {
-		return accel.Cost{}, err
+	if !pi.entry.Supports(pi.proc.Kind) {
+		return accel.Cost{}, fmt.Errorf("loader: %s cannot execute on %s", pair.Model, pi.proc.Kind)
 	}
-	if !e.Supports(proc.Kind) {
-		return accel.Cost{}, fmt.Errorf("loader: %s cannot execute on %s", pair.Model, proc.Kind)
-	}
-	pool, err := l.sys.SoC.PoolOf(pair.ProcID)
-	if err != nil {
-		return accel.Cost{}, err
-	}
-	key := residencyKey(pair.Model, proc.Kind)
+	pool, key := pi.pool, pi.key
 	l.seq++
 
 	if m := l.resident[pool.Name]; m != nil {

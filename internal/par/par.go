@@ -1,0 +1,73 @@
+// Package par provides the bounded worker pools the reproduction uses to
+// parallelize its offline stages (characterization, scenario rendering, the
+// experiment grids).
+//
+// Every parallelized stage in this codebase follows the same discipline: a
+// cheap sequential planning pass fixes all stateful inputs (RNG stream
+// positions, output slots, run order), then the expensive pure computations
+// fan out over a pool and write to disjoint, pre-sized slots. Results are
+// therefore bitwise-identical to a sequential run regardless of worker count
+// or interleaving — the property the equivalence tests in the scene, profile
+// and experiments packages pin down.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the pool size used when a caller does not specify one:
+// GOMAXPROCS, the number of usable cores.
+func Workers() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach invokes fn(i) for every i in [0, n), spread over min(Workers(), n)
+// goroutines, and returns when all calls have completed. fn must only write
+// to per-index state. With one worker (or n <= 1) it degrades to a plain
+// loop, so single-core platforms pay no synchronization cost.
+func ForEach(n int, fn func(i int)) {
+	workers := Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// MapErr invokes fn(i) for every i in [0, n) over the pool and returns the
+// lowest-index error, or nil if every call succeeded. All n calls run even
+// when one fails, keeping the error choice deterministic.
+func MapErr(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	ForEach(n, func(i int) {
+		errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -156,8 +156,27 @@ func (s *SHIFT) Run(scenario string, frames []scene.Frame) (*Result, error) {
 		}
 	}
 
+	// The active pair changes on a few dozen frames per scenario, so its
+	// entry and execution profile are re-resolved only on swaps.
+	curEntry, err := s.sys.Entry(cur.Model)
+	if err != nil {
+		return nil, err
+	}
+	curPerf, err := s.sys.Perf(cur.Model, cur.ProcID)
+	if err != nil {
+		return nil, err
+	}
+
 	prev := cur
 	for i, frame := range frames {
+		if cur != prev {
+			if curEntry, err = s.sys.Entry(cur.Model); err != nil {
+				return nil, err
+			}
+			if curPerf, err = s.sys.Perf(cur.Model, cur.ProcID); err != nil {
+				return nil, err
+			}
+		}
 		rec := FrameRecord{Index: frame.Index, Pair: cur}
 		// A swap is recorded on the first frame the new pair serves.
 		rec.Swapped = i > 0 && cur != prev
@@ -173,11 +192,7 @@ func (s *SHIFT) Run(scenario string, frames []scene.Frame) (*Result, error) {
 		rec.EnergyJ += loadCost.Energy
 
 		// 2. Inference on the chosen accelerator.
-		perf, err := s.sys.Perf(cur.Model, cur.ProcID)
-		if err != nil {
-			return nil, err
-		}
-		execCost, err := s.sys.SoC.Exec(cur.ProcID, perf.LatencySec, perf.PowerW)
+		execCost, err := s.sys.SoC.Exec(cur.ProcID, curPerf.LatencySec, curPerf.PowerW)
 		if err != nil {
 			return nil, err
 		}
@@ -185,11 +200,7 @@ func (s *SHIFT) Run(scenario string, frames []scene.Frame) (*Result, error) {
 		rec.EnergyJ += execCost.Energy
 
 		// 3. Behavioural detection.
-		entry, err := s.sys.Entry(cur.Model)
-		if err != nil {
-			return nil, err
-		}
-		det := entry.Model.Detect(frame, s.sys.Seed)
+		det := curEntry.Model.Detect(frame, s.sys.Seed)
 		rec.Found, rec.Conf, rec.IoU, rec.Box = det.Found, det.Conf, det.IoU, det.Box
 
 		// 4. Scheduling decision for the next frame, charged to the CPU.

@@ -15,6 +15,8 @@ import (
 	"sort"
 
 	"repro/internal/accel"
+	"repro/internal/detmodel"
+	"repro/internal/par"
 	"repro/internal/scene"
 	"repro/internal/zoo"
 )
@@ -63,46 +65,66 @@ type Characterization struct {
 // Characterize profiles every zoo model over the validation frames. The
 // validation inference runs are an offline step, so they charge no cost to
 // the system's virtual clock; only the behavioural outputs matter here.
+//
+// Models are profiled in parallel: each zoo entry's trait computation is a
+// pure function of (model, frames, seed) — Detect derives its own stream
+// from the frame salt — so per-model results land in disjoint slots and the
+// outcome is identical to the sequential loop for any worker count
+// (TestCharacterizeParallelMatchesSequential). The frame salts are shared
+// across models instead of being rehashed per (model, frame).
 func Characterize(sys *zoo.System, frames []scene.Frame) *Characterization {
 	c := &Characterization{
 		ByModel:      make(map[string]*Traits, len(sys.Entries)),
 		EnergyScore:  map[PairKey]float64{},
 		LatencyScore: map[PairKey]float64{},
 	}
-	for _, e := range sys.Entries {
-		t := &Traits{
-			Model:      e.Name(),
-			Samples:    make([]Sample, 0, len(frames)),
-			PerfByKind: map[string]zoo.Perf{},
-		}
-		for kind, p := range e.PerfByKind {
-			t.PerfByKind[kind.String()] = p
-		}
-		var iouSum, confSum float64
-		success := 0
-		for _, f := range frames {
-			det := e.Model.Detect(f, sys.Seed)
-			t.Samples = append(t.Samples, Sample{
-				FrameIndex: f.Index,
-				Found:      det.Found,
-				Conf:       det.Conf,
-				IoU:        det.IoU,
-			})
-			iouSum += det.IoU
-			confSum += det.Conf
-			if det.IoU >= 0.5 {
-				success++
-			}
-		}
-		if n := len(frames); n > 0 {
-			t.AvgIoU = iouSum / float64(n)
-			t.AvgConf = confSum / float64(n)
-			t.SuccessRate = float64(success) / float64(n)
-		}
-		c.ByModel[e.Name()] = t
+	salts := make([]uint64, len(frames))
+	par.ForEach(len(frames), func(i int) {
+		salts[i] = detmodel.FrameSalt(frames[i])
+	})
+	traits := make([]*Traits, len(sys.Entries))
+	par.ForEach(len(sys.Entries), func(i int) {
+		traits[i] = characterizeModel(sys.Entries[i], frames, salts, sys.Seed)
+	})
+	for _, t := range traits {
+		c.ByModel[t.Model] = t
 	}
 	c.normalizePairScores(sys)
 	return c
+}
+
+// characterizeModel computes one model's traits over the validation frames.
+func characterizeModel(e *zoo.Entry, frames []scene.Frame, salts []uint64, seed uint64) *Traits {
+	t := &Traits{
+		Model:      e.Name(),
+		Samples:    make([]Sample, 0, len(frames)),
+		PerfByKind: map[string]zoo.Perf{},
+	}
+	for kind, p := range e.PerfByKind {
+		t.PerfByKind[kind.String()] = p
+	}
+	var iouSum, confSum float64
+	success := 0
+	for i, f := range frames {
+		det := e.Model.DetectSalted(f, seed, salts[i])
+		t.Samples = append(t.Samples, Sample{
+			FrameIndex: f.Index,
+			Found:      det.Found,
+			Conf:       det.Conf,
+			IoU:        det.IoU,
+		})
+		iouSum += det.IoU
+		confSum += det.Conf
+		if det.IoU >= 0.5 {
+			success++
+		}
+	}
+	if n := len(frames); n > 0 {
+		t.AvgIoU = iouSum / float64(n)
+		t.AvgConf = confSum / float64(n)
+		t.SuccessRate = float64(success) / float64(n)
+	}
+	return t
 }
 
 // normalizePairScores builds the bigger-is-better energy and latency tables

@@ -1,0 +1,42 @@
+package rng
+
+import "testing"
+
+func TestCloneProducesSameSequence(t *testing.T) {
+	r := New(42)
+	r.Uint64() // advance off the seed state
+	c := r.Clone()
+	for i := 0; i < 100; i++ {
+		if a, b := r.Uint64(), c.Uint64(); a != b {
+			t.Fatalf("draw %d: original %d != clone %d", i, a, b)
+		}
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	r := New(43)
+	c := r.Clone()
+	r.Uint64()
+	r.Uint64()
+	// The clone must still be at the original position.
+	fresh := New(43)
+	if c.Uint64() != fresh.Uint64() {
+		t.Fatal("advancing the original moved the clone")
+	}
+}
+
+func TestSkipNormsMatchesNormConsumption(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 1000} {
+		a := New(uint64(n) + 7)
+		b := a.Clone()
+		for i := 0; i < n; i++ {
+			a.Norm(0, 1)
+		}
+		b.SkipNorms(n)
+		for i := 0; i < 20; i++ {
+			if x, y := a.Uint64(), b.Uint64(); x != y {
+				t.Fatalf("n=%d: streams diverge after skip (draw %d: %d vs %d)", n, i, x, y)
+			}
+		}
+	}
+}

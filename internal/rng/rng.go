@@ -30,27 +30,46 @@ func splitmix64(x *uint64) uint64 {
 // independent streams.
 func New(seed uint64) *Stream {
 	st := &Stream{}
+	st.Reseed(seed)
+	return st
+}
+
+// Reseed (re)initializes the stream in place from seed, exactly as New
+// does. It lets per-call hot paths (one derived stream per simulated
+// detection) run on stack-allocated Stream values.
+func (r *Stream) Reseed(seed uint64) {
 	x := seed
-	for i := range st.s {
-		st.s[i] = splitmix64(&x)
+	for i := range r.s {
+		r.s[i] = splitmix64(&x)
 	}
 	// xoshiro must not start from the all-zero state; splitmix64 cannot
 	// produce four zero outputs in a row, but guard anyway.
-	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
-		st.s[0] = 0x9e3779b97f4a7c15
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return st
 }
 
 // Fork derives an independent child stream identified by label. Forking the
 // same parent with the same label always yields the same child, which lets
 // subsystems own private streams without coordinating seed arithmetic.
 func (r *Stream) Fork(label string) *Stream {
+	dst := &Stream{}
+	r.Fork2Into(label, "", dst)
+	return dst
+}
+
+// Fork2Into derives the child identified by the concatenation label1+label2
+// into dst, without building the joined string or allocating the stream —
+// bit-identical to Fork(label1 + label2).
+func (r *Stream) Fork2Into(label1, label2 string, dst *Stream) {
 	x := r.s[0] ^ rotl(r.s[2], 17)
-	for _, b := range []byte(label) {
+	for _, b := range []byte(label1) {
 		x = (x ^ uint64(b)) * 0x100000001b3 // FNV-1a style mixing
 	}
-	return New(splitmix64(&x))
+	for _, b := range []byte(label2) {
+		x = (x ^ uint64(b)) * 0x100000001b3
+	}
+	dst.Reseed(splitmix64(&x))
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
@@ -103,6 +122,11 @@ func (r *Stream) Range(lo, hi float64) float64 {
 // deviation, using the Box-Muller transform (one value per call; the paired
 // value is discarded to keep the stream's consumption rate simple and
 // deterministic).
+//
+// The transform is kept bit-for-bit stable deliberately: every calibrated
+// behaviour of the reproduction (scene pixels, detection draws, the Fig. 3
+// swap timeline) is a function of the exact realized draws, so swapping in a
+// cheaper sampler would silently re-roll the whole evaluation.
 func (r *Stream) Norm(mean, stddev float64) float64 {
 	if stddev <= 0 {
 		return mean
@@ -114,6 +138,27 @@ func (r *Stream) Norm(mean, stddev float64) float64 {
 	u2 := r.Float64()
 	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
 	return mean + stddev*z
+}
+
+// Clone returns an independent copy of the stream at its current position:
+// both streams produce the same future sequence without affecting each
+// other. The parallel scene renderer snapshots per-frame noise streams this
+// way.
+func (r *Stream) Clone() *Stream {
+	c := *r
+	return &c
+}
+
+// SkipNorms advances the stream past n Norm draws (with stddev > 0) without
+// computing the variates, replicating Norm's exact consumption pattern (u1
+// re-drawn while zero, then u2). The parallel renderer uses it to position
+// per-frame noise snapshots without paying for the transform itself.
+func (r *Stream) SkipNorms(n int) {
+	for i := 0; i < n; i++ {
+		for r.Float64() == 0 {
+		}
+		r.Uint64() // u2
+	}
 }
 
 // TruncNorm returns a normal sample clamped to [lo, hi]. Clamping (rather

@@ -1,0 +1,53 @@
+package scene
+
+import "testing"
+
+func framesEqual(t *testing.T, a, b []Frame, label string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d frames vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Index != b[i].Index {
+			t.Fatalf("%s: frame %d index %d vs %d", label, i, a[i].Index, b[i].Index)
+		}
+		if a[i].GT != b[i].GT {
+			t.Fatalf("%s: frame %d GT %+v vs %+v", label, i, a[i].GT, b[i].GT)
+		}
+		if a[i].Ctx != b[i].Ctx {
+			t.Fatalf("%s: frame %d Ctx %+v vs %+v", label, i, a[i].Ctx, b[i].Ctx)
+		}
+		if !a[i].Image.Equal(b[i].Image) {
+			t.Fatalf("%s: frame %d pixels differ", label, i)
+		}
+	}
+}
+
+// TestRenderMatchesSequential pins the parallel renderer to the sequential
+// specification: bitwise-identical pixels, ground truth and contexts for
+// every scenario and several seeds.
+func TestRenderMatchesSequential(t *testing.T) {
+	scenarios := append(EvaluationSuite(), ScenarioFastManeuver())
+	for _, sc := range scenarios {
+		for _, seed := range []uint64{1, 2, 99} {
+			par := sc.Render(seed)
+			seq := sc.renderSequential(seed)
+			framesEqual(t, par, seq, sc.Name)
+		}
+	}
+}
+
+// TestRenderParallelDeterministic verifies two parallel renders of the same
+// seed are identical (no dependence on goroutine interleaving).
+func TestRenderParallelDeterministic(t *testing.T) {
+	sc := Scenario1()
+	framesEqual(t, sc.Render(7), sc.Render(7), sc.Name)
+}
+
+// TestValidationSetParallelDeterministic pins the parallel validation-set
+// build: two runs of the same seed must agree exactly.
+func TestValidationSetParallelDeterministic(t *testing.T) {
+	a := ValidationSet(11, 60)
+	b := ValidationSet(11, 60)
+	framesEqual(t, a, b, "validation")
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/img"
+	"repro/internal/par"
 	"repro/internal/rng"
 )
 
@@ -302,10 +303,14 @@ func ByName(name string) (*Scenario, error) {
 // confidence graph sees every regime it will encounter at runtime.
 func ValidationSet(seed uint64, n int) []Frame {
 	r := rng.New(seed).Fork("validation")
-	frames := make([]Frame, 0, n)
+	// Contexts and per-frame streams are drawn sequentially (forks do not
+	// advance r, so the draw order matches a fully sequential build); the
+	// pixel rendering then fans out per frame.
+	ctxs := make([]Context, n)
+	streams := make([]*rng.Stream, n)
 	for i := 0; i < n; i++ {
 		tex := img.Texture(r.Intn(5))
-		ctx := Context{
+		ctxs[i] = Context{
 			Present:  r.Bool(0.95),
 			Distance: r.Float64(),
 			Contrast: r.Range(0.1, 1.0),
@@ -313,8 +318,12 @@ func ValidationSet(seed uint64, n int) []Frame {
 			Speed:    r.Range(0, 4),
 			Texture:  tex,
 		}
-		frames = append(frames, RenderSingle(i, ctx, r.Fork(fmt.Sprintf("f%d", i))))
+		streams[i] = r.Fork(fmt.Sprintf("f%d", i))
 	}
+	frames := make([]Frame, n)
+	par.ForEach(n, func(i int) {
+		frames[i] = RenderSingle(i, ctxs[i], streams[i])
+	})
 	return frames
 }
 

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/img"
+	"repro/internal/par"
 	"repro/internal/rng"
 )
 
@@ -139,8 +140,129 @@ func (s *Scenario) spriteSize(dist float64) int {
 	return px
 }
 
-// Render synthesizes the scenario deterministically from seed.
+// framePlan is everything one frame's rendering needs, fixed by the cheap
+// sequential planning pass so the expensive pixel work can run on any worker
+// in any order and still reproduce the sequential output bit for bit.
+type framePlan struct {
+	seg   *Segment
+	base  float64
+	dist  float64
+	px    float64
+	py    float64
+	speed float64
+	phase float64
+	// tex is the per-frame texture stream (re-derived identically each frame
+	// within a segment, so the pan phase supplies all motion); noise is a
+	// snapshot of the segment's sensor-noise stream positioned at this
+	// frame's first draw (nil when the segment adds no noise).
+	tex   *rng.Stream
+	noise *rng.Stream
+}
+
+// Render synthesizes the scenario deterministically from seed. Frames are
+// planned sequentially (interpolation state, RNG stream positions) and then
+// rendered in parallel; the output is bitwise-identical to renderSequential
+// for every seed, which TestRenderMatchesSequential pins down.
 func (s *Scenario) Render(seed uint64) []Frame {
+	plans := s.planFrames(seed)
+	frames := make([]Frame, len(plans))
+	par.ForEach(len(plans), func(i int) {
+		frames[i] = s.renderPlanned(i, &plans[i])
+	})
+	return frames
+}
+
+// planFrames runs the sequential per-frame state machine (trajectory
+// interpolation, pan phase, inter-frame speed, noise-stream consumption)
+// without touching pixels.
+func (s *Scenario) planFrames(seed uint64) []framePlan {
+	r := rng.New(seed).Fork("scene:" + s.Name)
+	plans := make([]framePlan, 0, s.TotalFrames())
+	phase := 0.0
+	var prevX, prevY float64
+	havePrev := false
+	for si := range s.Segments {
+		seg := &s.Segments[si]
+		texRand := r.Fork(seg.Name + ":tex")
+		noiseRand := r.Fork(seg.Name + ":noise")
+		for f := 0; f < seg.Frames; f++ {
+			t := 0.0
+			if seg.Frames > 1 {
+				t = float64(f) / float64(seg.Frames-1)
+			}
+			base := seg.IntensityFrom + (seg.IntensityTo-seg.IntensityFrom)*t
+			dist := seg.DistFrom + (seg.DistTo-seg.DistFrom)*t
+			nx := seg.FromX + (seg.ToX-seg.FromX)*t
+			ny := seg.FromY + (seg.ToY-seg.FromY)*t
+			px := nx * float64(s.W)
+			py := ny * float64(s.H)
+			speed := 0.0
+			if havePrev && seg.Visible {
+				speed = math.Hypot(px-prevX, py-prevY)
+			}
+			prevX, prevY = px, py
+			havePrev = seg.Visible
+
+			plan := framePlan{
+				seg: seg, base: base, dist: dist,
+				px: px, py: py, speed: speed, phase: phase,
+				tex: texRand.Fork("frame"),
+			}
+			if seg.NoiseStd > 0 {
+				plan.noise = noiseRand.Clone()
+				noiseRand.SkipNorms(s.W * s.H)
+			}
+			plans = append(plans, plan)
+			phase += seg.PanSpeed
+		}
+	}
+	return plans
+}
+
+// renderPlanned produces one frame from its plan; pure per-frame pixel work.
+func (s *Scenario) renderPlanned(idx int, p *framePlan) Frame {
+	seg := p.seg
+	frame := img.New(s.W, s.H)
+	img.FillTexture(frame, seg.Texture, p.base, p.phase, p.tex)
+
+	ctx := Context{
+		Present:  seg.Visible,
+		Distance: clamp01(p.dist),
+		Contrast: clamp01(seg.Contrast),
+		Clutter:  seg.Texture.Clutter(),
+		Speed:    p.speed,
+		Texture:  seg.Texture,
+	}
+
+	var gt geom.Rect
+	if seg.Visible {
+		size := s.spriteSize(p.dist)
+		// Sprite intensity: offset from background by contrast.
+		delta := 30 + 150*seg.Contrast
+		intensity := p.base - delta
+		if p.base < 128 {
+			intensity = p.base + delta
+		}
+		sprite := img.DroneSprite(size, clampU8(intensity))
+		if p.speed > 2.5 {
+			sprite = sprite.BoxBlur(1)
+		}
+		x0 := int(p.px) - size/2
+		y0 := int(p.py) - size/2
+		frame.Composite(sprite, x0, y0, 1.0, 0)
+		gt = geom.Rect{X: float64(x0), Y: float64(y0), W: float64(size), H: float64(size)}
+		gt = gt.ClampTo(geom.Rect{X: 0, Y: 0, W: float64(s.W), H: float64(s.H)})
+	}
+
+	if seg.NoiseStd > 0 {
+		addNoise(frame, seg.NoiseStd, p.noise)
+	}
+	return Frame{Index: idx, Image: frame, GT: gt, Ctx: ctx}
+}
+
+// renderSequential is the original single-goroutine frame loop, retained as
+// the specification the parallel Render is tested against.
+func (s *Scenario) renderSequential(seed uint64) []Frame {
 	r := rng.New(seed).Fork("scene:" + s.Name)
 	frames := make([]Frame, 0, s.TotalFrames())
 	idx := 0

@@ -114,9 +114,49 @@ type Scheduler struct {
 	sys   *zoo.System
 	pairs []zoo.Pair
 
-	buffers map[string][]float64 // per-model momentum windows
-	lastImg *img.Image
-	lastBox *img.Image
+	// candidates is the deterministic per-(model, kind) candidate order,
+	// with the per-pair knob-weighted energy and latency terms precomputed —
+	// both are invariants of the configuration, hoisted out of the per-frame
+	// decision loop.
+	candidates []candidate
+	knobTerms  map[profile.PairKey][2]float64
+
+	// Momentum state is index-based: modelIdx interns model names once and
+	// the per-model windows, averages and validity flags live in flat slices
+	// so the re-scheduling path does no per-frame map construction.
+	modelIdx   map[string]int
+	modelNames []string
+	bufs       [][]float64 // per-model momentum windows
+	rVals      []float64   // momentum-averaged prediction per model
+	rSet       []bool      // model has at least one buffered prediction
+	valid      []bool      // model passed the accuracy filter this decision
+	// lastImg/lastBox carry the previous frame's image and box crop together
+	// with their integer pixel moments, so each gate evaluation needs only
+	// one fused NCC pass over the new image (img.NCCMoments).
+	lastImg      *img.Image
+	lastImgSum   uint64
+	lastImgSumSq uint64
+	lastBox      *img.Image
+	lastBoxSum   uint64
+	lastBoxSumSq uint64
+
+	// Box-crop scratch state: the crop buffer, the cached bilinear kernel
+	// (rebuilt only when the box size changes between frames) and two
+	// normalized-crop buffers used alternately — the previous frame's crop
+	// stays live as lastBox while the current one is produced.
+	cropScratch  *img.Image
+	resizeKernel *img.ResizeKernel
+	boxOut       [2]*img.Image
+	boxFlip      int
+}
+
+// candidate is one scorable (model, kind) pair with its precomputed
+// objective terms: eTerm = EnergyScore·W_energy, lTerm = LatencyScore·W_lat.
+type candidate struct {
+	pair     zoo.Pair
+	modelIdx int
+	eTerm    float64
+	lTerm    float64
 }
 
 // New builds a scheduler over the system's runtime pairs.
@@ -157,47 +197,123 @@ func New(sys *zoo.System, ch *profile.Characterization, graph *confgraph.Graph, 
 		return nil, fmt.Errorf("sched: no runtime pair satisfies the constraints (latency <= %vs, energy <= %vJ)",
 			cfg.MaxLatencySec, cfg.MaxEnergyJ)
 	}
-	return &Scheduler{
-		cfg:     cfg,
-		graph:   graph,
-		ch:      ch,
-		sys:     sys,
-		pairs:   pairs,
-		buffers: map[string][]float64{},
-	}, nil
+	s := &Scheduler{
+		cfg:      cfg,
+		graph:    graph,
+		ch:       ch,
+		sys:      sys,
+		pairs:    pairs,
+		modelIdx: map[string]int{},
+	}
+	for _, e := range sys.Entries {
+		s.internModel(e.Name())
+	}
+	// knobTerms covers every runtime (model, kind) pair — a superset of the
+	// deduplicated candidates, since the hysteresis check may score an
+	// incumbent on a processor outside the candidate list (e.g. dla1). The
+	// candidates read their terms from it, keeping one source of truth.
+	s.knobTerms = make(map[profile.PairKey][2]float64, len(pairs))
+	for _, p := range pairs {
+		key := profile.PairKey{Model: p.Model, Kind: p.Kind}
+		s.knobTerms[key] = [2]float64{
+			ch.EnergyScore[key] * cfg.Knobs.Energy,
+			ch.LatencyScore[key] * cfg.Knobs.Latency,
+		}
+	}
+	for _, p := range s.candidatesSorted() {
+		terms := s.knobTerms[profile.PairKey{Model: p.Model, Kind: p.Kind}]
+		s.candidates = append(s.candidates, candidate{
+			pair:     p,
+			modelIdx: s.internModel(p.Model),
+			eTerm:    terms[0],
+			lTerm:    terms[1],
+		})
+	}
+	return s, nil
 }
 
 // Pairs returns the candidate pairs the scheduler selects from.
 func (s *Scheduler) Pairs() []zoo.Pair { return s.pairs }
 
-// Reset clears NCC history and momentum buffers (new video stream).
-func (s *Scheduler) Reset() {
-	s.buffers = map[string][]float64{}
-	s.lastImg = nil
-	s.lastBox = nil
+// internModel returns the index of model, extending the slices if new.
+func (s *Scheduler) internModel(model string) int {
+	if idx, ok := s.modelIdx[model]; ok {
+		return idx
+	}
+	idx := len(s.modelNames)
+	s.modelIdx[model] = idx
+	s.modelNames = append(s.modelNames, model)
+	s.bufs = append(s.bufs, nil)
+	s.rVals = append(s.rVals, 0)
+	s.rSet = append(s.rSet, false)
+	s.valid = append(s.valid, false)
+	return idx
 }
 
-// boxCrop extracts and normalizes the bounding-box region of frame.
+// Reset clears NCC history and momentum buffers (new video stream).
+func (s *Scheduler) Reset() {
+	for i := range s.bufs {
+		s.bufs[i] = nil
+		s.rVals[i] = 0
+		s.rSet[i] = false
+		s.valid[i] = false
+	}
+	s.lastImg = nil
+	s.lastBox = nil
+	s.lastImgSum, s.lastImgSumSq = 0, 0
+	s.lastBoxSum, s.lastBoxSumSq = 0, 0
+}
+
+// boxCrop extracts and normalizes the bounding-box region of frame. Output
+// pixels are identical to Crop followed by Resize; the crop scratch, resize
+// coefficients and destination buffers are reused across frames.
 func (s *Scheduler) boxCrop(frame *img.Image, det detmodel.Detection) *img.Image {
 	if !det.Found || det.Box.Empty() {
 		return nil
 	}
-	crop := frame.Crop(int(det.Box.X), int(det.Box.Y), int(det.Box.W), int(det.Box.H))
-	return crop.Resize(s.cfg.BoxCropSize, s.cfg.BoxCropSize)
+	w, h := int(det.Box.W), int(det.Box.H)
+	if s.cropScratch == nil || s.cropScratch.W != w || s.cropScratch.H != h {
+		s.cropScratch = img.New(w, h)
+	}
+	frame.CropInto(int(det.Box.X), int(det.Box.Y), s.cropScratch)
+	size := s.cfg.BoxCropSize
+	if !s.resizeKernel.Matches(w, h, size, size) {
+		s.resizeKernel = img.NewResizeKernel(w, h, size, size)
+	}
+	out := s.boxOut[s.boxFlip]
+	if out == nil {
+		out = img.New(size, size)
+		s.boxOut[s.boxFlip] = out
+	}
+	s.boxFlip = 1 - s.boxFlip
+	s.resizeKernel.Apply(s.cropScratch, out)
+	return out
 }
 
 // similarity computes s = min(NCC(lastImage, current), NCC(lastBox, curBox)),
-// Algorithm 1 line 2. Missing history or a lost detection yields 0 for that
-// component, forcing the gate open — exactly when re-evaluation is needed.
+// Algorithm 1 line 2, and updates the NCC history. Missing history or a lost
+// detection yields 0 for that component, forcing the gate open — exactly
+// when re-evaluation is needed. Each comparison reuses the previous image's
+// cached moments, so only the new image is traversed (incremental NCC).
 func (s *Scheduler) similarity(frame *img.Image, curBox *img.Image) float64 {
 	imgNCC := 0.0
+	var fSum, fSumSq uint64
 	if s.lastImg != nil {
-		imgNCC = img.NCC(s.lastImg, frame)
+		imgNCC, fSum, fSumSq = img.NCCMoments(s.lastImg, frame, s.lastImgSum, s.lastImgSumSq)
+	} else {
+		fSum, fSumSq = frame.Moments()
 	}
 	boxNCC := 0.0
-	if s.lastBox != nil && curBox != nil {
-		boxNCC = img.NCC(s.lastBox, curBox)
+	if curBox != nil {
+		var bSum, bSumSq uint64
+		if s.lastBox != nil {
+			boxNCC, bSum, bSumSq = img.NCCMoments(s.lastBox, curBox, s.lastBoxSum, s.lastBoxSumSq)
+		} else {
+			bSum, bSumSq = curBox.Moments()
+		}
+		s.lastBox, s.lastBoxSum, s.lastBoxSumSq = curBox, bSum, bSumSq
 	}
+	s.lastImg, s.lastImgSum, s.lastImgSumSq = frame, fSum, fSumSq
 	if boxNCC < imgNCC {
 		return boxNCC
 	}
@@ -209,12 +325,9 @@ func (s *Scheduler) similarity(frame *img.Image, curBox *img.Image) float64 {
 // use for the next frame.
 func (s *Scheduler) Decide(cur zoo.Pair, det detmodel.Detection, frame scene.Frame) Decision {
 	curBox := s.boxCrop(frame.Image, det)
+	// similarity also updates the NCC history (image, box and their moments)
+	// for the next frame, regardless of the gate outcome.
 	sim := s.similarity(frame.Image, curBox)
-	// Update history for the next frame regardless of the outcome.
-	s.lastImg = frame.Image
-	if curBox != nil {
-		s.lastBox = curBox
-	}
 
 	gate := sim * det.Conf
 	if !s.cfg.DisableGate && gate >= s.cfg.AccuracyThreshold {
@@ -229,64 +342,76 @@ func (s *Scheduler) Decide(cur zoo.Pair, det detmodel.Detection, frame scene.Fra
 		return Decision{Pair: cur, Rescheduled: false, Similarity: sim, Gate: gate}
 	}
 	for _, p := range preds {
-		buf := append(s.buffers[p.Model], p.Acc)
+		idx := s.internModel(p.Model)
+		buf := append(s.bufs[idx], p.Acc)
 		if len(buf) > s.cfg.Momentum {
 			buf = buf[len(buf)-s.cfg.Momentum:]
 		}
-		s.buffers[p.Model] = buf
+		s.bufs[idx] = buf
 	}
-	r := make(map[string]float64, len(s.buffers))
-	for model, buf := range s.buffers {
+	for idx, buf := range s.bufs {
+		if len(buf) == 0 {
+			continue
+		}
 		sum := 0.0
 		for _, v := range buf {
 			sum += v
 		}
-		r[model] = sum / float64(len(buf))
+		s.rVals[idx] = sum / float64(len(buf))
+		s.rSet[idx] = true
 	}
 
 	// Lines 15-18: accuracy filter with fallback to all.
-	valid := map[string]bool{}
-	for model, acc := range r {
-		if acc >= s.cfg.AccuracyThreshold {
-			valid[model] = true
-		}
+	met := false
+	for idx := range s.valid {
+		s.valid[idx] = s.rSet[idx] && s.rVals[idx] >= s.cfg.AccuracyThreshold
+		met = met || s.valid[idx]
 	}
-	met := len(valid) > 0
 	if !met {
-		for model := range r {
-			valid[model] = true
-		}
+		copy(s.valid, s.rSet)
 	}
 
 	// Lines 19-23 extended to (model, accelerator) pairs: score every
 	// candidate pair whose model passed the filter; energy and latency are
-	// the per-pair normalized traits.
-	score := func(p zoo.Pair) float64 {
-		key := profile.PairKey{Model: p.Model, Kind: p.Kind}
-		return r[p.Model]*s.cfg.Knobs.Accuracy +
-			s.ch.EnergyScore[key]*s.cfg.Knobs.Energy +
-			s.ch.LatencyScore[key]*s.cfg.Knobs.Latency
-	}
+	// the per-pair normalized traits, their knob-weighted terms precomputed
+	// at construction. The left-to-right accumulation order matches
+	// r·W_acc + E·W_energy + L·W_lat exactly, keeping decisions bit-stable.
 	best := cur
 	bestScore := -1.0
-	for _, p := range s.candidatesSorted() {
-		if !valid[p.Model] {
+	for i := range s.candidates {
+		c := &s.candidates[i]
+		if !s.valid[c.modelIdx] {
 			continue
 		}
-		sc := score(p)
+		sc := s.rVals[c.modelIdx]*s.cfg.Knobs.Accuracy + c.eTerm + c.lTerm
 		// Strictly-greater comparison plus deterministic candidate order
 		// makes ties resolve stably.
 		if sc > bestScore {
 			bestScore = sc
-			best = p
+			best = c.pair
 		}
 	}
 	// Hysteresis: swapping pays a load, so the challenger must beat the
 	// incumbent by SwapMargin. When the incumbent's model failed the
-	// accuracy filter, the swap is unconditional.
-	if best != cur && valid[cur.Model] {
-		if bestScore < score(cur)+s.cfg.SwapMargin {
+	// accuracy filter, the swap is unconditional. A model absent from the
+	// predictions contributes accuracy 0, as with the map's zero value.
+	curIdx := s.internModel(cur.Model)
+	if best != cur && s.valid[curIdx] {
+		terms := s.knobTerms[profile.PairKey{Model: cur.Model, Kind: cur.Kind}]
+		curR := 0.0
+		if s.rSet[curIdx] {
+			curR = s.rVals[curIdx]
+		}
+		curScore := curR*s.cfg.Knobs.Accuracy + terms[0] + terms[1]
+		if bestScore < curScore+s.cfg.SwapMargin {
 			best = cur
+		}
+	}
+	// Predicted mirrors the momentum averages for diagnostics and tests.
+	r := make(map[string]float64, len(s.modelNames))
+	for idx, set := range s.rSet {
+		if set {
+			r[s.modelNames[idx]] = s.rVals[idx]
 		}
 	}
 	return Decision{

@@ -274,9 +274,9 @@ func TestMomentumSmoothsPredictions(t *testing.T) {
 		frame := hardFrame(100 + i)
 		s.Decide(cur, detect(t, f, detmodel.YoloV7, frame), frame)
 	}
-	for model, buf := range s.buffers {
+	for idx, buf := range s.bufs {
 		if len(buf) > 5 {
-			t.Fatalf("buffer for %s grew to %d, momentum is 5", model, len(buf))
+			t.Fatalf("buffer for %s grew to %d, momentum is 5", s.modelNames[idx], len(buf))
 		}
 	}
 }
@@ -288,8 +288,13 @@ func TestResetClearsState(t *testing.T) {
 	frame := easyFrame(9)
 	s.Decide(cur, detect(t, f, detmodel.YoloV7, frame), frame)
 	s.Reset()
-	if len(s.buffers) != 0 || s.lastImg != nil || s.lastBox != nil {
-		t.Fatal("Reset left state behind")
+	for idx := range s.bufs {
+		if s.bufs[idx] != nil || s.rSet[idx] || s.valid[idx] {
+			t.Fatalf("Reset left momentum state behind for %s", s.modelNames[idx])
+		}
+	}
+	if s.lastImg != nil || s.lastBox != nil {
+		t.Fatal("Reset left NCC history behind")
 	}
 }
 

@@ -42,6 +42,11 @@ type Tracker struct {
 	template *img.Image
 	box      geom.Rect
 	active   bool
+	// window and refresh are scratch buffers reused across Step calls; the
+	// search window and template sizes are fixed while a target is held, so
+	// per-frame allocations would only feed the GC.
+	window  *img.Image
+	refresh *img.Image
 }
 
 // New returns an idle tracker; call Init with a detection to start tracking.
@@ -92,8 +97,11 @@ func (t *Tracker) Step(frame *img.Image) (box geom.Rect, score float64, ok bool)
 	y0 := int(t.box.Y) - r
 	w := int(t.box.W) + 2*r
 	h := int(t.box.H) + 2*r
-	window := frame.Crop(x0, y0, w, h)
-	dx, dy, best, found := img.NCCSearch(window, t.template)
+	if t.window == nil || t.window.W != w || t.window.H != h {
+		t.window = img.New(w, h)
+	}
+	frame.CropInto(x0, y0, t.window)
+	dx, dy, best, found := img.NCCSearch(t.window, t.template)
 	if !found || best < t.cfg.MinScore {
 		t.Drop()
 		return geom.Rect{}, best, false
@@ -113,7 +121,12 @@ func (t *Tracker) refreshTemplate(frame *img.Image) {
 	if t.cfg.TemplateBlend == 0 {
 		return
 	}
-	cur := crop(frame, t.box)
+	w, h := int(t.box.W), int(t.box.H)
+	if t.refresh == nil || t.refresh.W != w || t.refresh.H != h {
+		t.refresh = img.New(w, h)
+	}
+	frame.CropInto(int(t.box.X), int(t.box.Y), t.refresh)
+	cur := t.refresh
 	a := t.cfg.TemplateBlend
 	for i := range t.template.Pix {
 		old := float64(t.template.Pix[i])
