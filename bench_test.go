@@ -1,6 +1,6 @@
 // Top-level benchmark harness: one benchmark per table and figure of the
-// paper's evaluation (see DESIGN.md §4 for the experiment index), plus the
-// ablation benchmarks DESIGN.md §6 calls out. Each benchmark regenerates the
+// paper's evaluation (see DESIGN.md §5 for the experiment index), plus the
+// ablation benchmarks DESIGN.md §7 calls out. Each benchmark regenerates the
 // corresponding result on the simulated platform and logs the headline
 // numbers; wall-clock time measures the harness, while the logged values are
 // simulated seconds and Joules comparable to the paper's columns.
@@ -331,6 +331,27 @@ func BenchmarkGraphQuality(b *testing.B) {
 			last := res.Points[len(res.Points)-1]
 			b.Logf("graph MAE %.3f vs naive %.3f at %d validation frames",
 				last.MAE, last.NaiveMAE, last.ValidationFrames)
+		}
+	}
+}
+
+// BenchmarkMultiStream runs the multi-stream serving sweep (1–8 SHIFT
+// streams sharing one platform) and logs the contention headline: tail
+// latency and deadline misses at the top concurrency.
+func BenchmarkMultiStream(b *testing.B) {
+	e := env(b)
+	cfg := experiments.DefaultMultiStreamConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.MultiStream(e, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			one, _ := res.Row(1)
+			eight, _ := res.Row(8)
+			b.Logf("multi-stream @%.0f fps: 1 stream p99=%.3fs miss=%.1f%% | 8 streams p99=%.3fs miss=%.1f%% wait=%.3fs swaps/stream=%.1f",
+				1/cfg.PeriodSec, one.Latency.P99, one.DeadlineMissRate*100,
+				eight.Latency.P99, eight.DeadlineMissRate*100, eight.AvgQueueWaitSec, eight.SwapsPerStream)
 		}
 	}
 }

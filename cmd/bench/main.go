@@ -171,6 +171,18 @@ func main() {
 		}
 	})
 
+	// MultiStream: the full 1–8 stream serving sweep on the shared-platform
+	// event loop (queueing + reference-counted residency).
+	msCfg := experiments.DefaultMultiStreamConfig()
+	run("MultiStream", "sweep", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.MultiStream(env, msCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
 	// NCC / NCCSearch micro-benchmarks on tracker-scale inputs.
 	r := rng.New(1)
 	imgA := randomImage(r, 72, 72)
@@ -208,6 +220,24 @@ func main() {
 	}
 	record("SHIFT", "shift")
 	record("Marlin", "marlin")
+
+	// Multi-stream serving headline: simulated contention metrics at 1 and 8
+	// concurrent streams. Deterministic per seed, like the Table III block.
+	ms, err := experiments.MultiStream(env, msCfg)
+	if err != nil {
+		fatal(err)
+	}
+	for _, n := range []int{1, 8} {
+		row, ok := ms.Row(n)
+		if !ok {
+			fatal(fmt.Errorf("missing multi-stream row for %d streams", n))
+		}
+		prefix := fmt.Sprintf("multistream%d", n)
+		doc.Headline[prefix+"_p99_latency_s"] = row.Latency.P99
+		doc.Headline[prefix+"_miss_rate"] = row.DeadlineMissRate
+		doc.Headline[prefix+"_queue_wait_s"] = row.AvgQueueWaitSec
+		doc.Headline[prefix+"_swaps_per_stream"] = row.SwapsPerStream
+	}
 
 	if baseDoc != nil {
 		doc.Baseline = baseDoc

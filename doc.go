@@ -13,13 +13,19 @@
 // Layout:
 //
 //   - internal/confgraph, internal/sched, internal/loader, internal/pipeline:
-//     the paper's contribution (offline graph, Algorithm 1, DML, runtime).
+//     the paper's contribution (offline graph, Algorithm 1, DML, SHIFT).
+//   - internal/runtime: the shared serving engine — one step loop behind a
+//     Policy interface that SHIFT and every baseline run on, plus the
+//     deterministic multi-stream event loop (runtime.Serve) with FIFO
+//     processor queueing and reference-counted engine residency.
 //   - internal/scene, internal/detmodel, internal/accel, internal/zoo:
 //     the simulated substrates (videos, models, hardware, binding).
-//   - internal/baseline: Marlin, single-model and Oracle comparison methods.
-//   - internal/experiments: one runner per paper table/figure.
-//   - cmd/: shiftsim, characterize, sweep, figures.
-//   - examples/: quickstart, dronechase, energybudget, customzoo.
+//   - internal/baseline: Marlin, single-model, frame-skip and Oracle
+//     comparison methods, all thin policies over the engine.
+//   - internal/experiments: one runner per paper table/figure, plus the
+//     multi-stream contention sweep (experiments.MultiStream).
+//   - cmd/: shiftsim, characterize, sweep, figures, bench, render, report.
+//   - examples/: quickstart, dronechase, energybudget, customzoo, livefeed.
 //
 // Top-level benchmarks in bench_test.go regenerate every table and figure;
 // see DESIGN.md for the experiment index and EXPERIMENTS.md for measured

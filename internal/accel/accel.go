@@ -144,6 +144,15 @@ func (c *Clock) Advance(d time.Duration) {
 	c.now += d
 }
 
+// AdvanceTo moves the clock to t when t is later; earlier times are a no-op.
+// The multi-stream event loop completes work out of global order, so the
+// clock tracks the horizon — the latest completion seen so far.
+func (c *Clock) AdvanceTo(t time.Duration) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
 // Cost is the latency and energy charged for one operation.
 type Cost struct {
 	Lat    time.Duration
@@ -192,6 +201,9 @@ type SoC struct {
 
 	r     *rng.Stream
 	trace *Trace
+	// busy tracks each processor's FIFO queue horizon for contention-aware
+	// execution (ExecFrom); the plain Exec path does not consult it.
+	busy map[string]time.Duration
 }
 
 // NewSoC assembles a platform from processors and pools, with jitter drawn
@@ -205,6 +217,7 @@ func NewSoC(procs []*Proc, pools []*MemPool, r *rng.Stream) *SoC {
 		LatJitter:   0.04,
 		PowerJitter: 0.03,
 		r:           r,
+		busy:        make(map[string]time.Duration, len(procs)),
 	}
 	for _, p := range procs {
 		s.Procs[p.ID] = p
@@ -263,6 +276,62 @@ func (s *SoC) Exec(procID string, latMean, powerMean float64) (Cost, error) {
 	}
 	return Cost{Lat: d, Energy: energy, PowerW: pow}, nil
 }
+
+// Span is one queued execution on a processor's FIFO timeline: when it
+// actually started and finished, how long it queued behind earlier work, and
+// the cost charged (latency = pure execution, excluding the queueing delay).
+type Span struct {
+	Start time.Duration
+	End   time.Duration
+	// Wait is the queueing delay between the caller being ready and the
+	// processor becoming free (zero when the processor was idle).
+	Wait time.Duration
+	Cost Cost
+}
+
+// ExecFrom simulates a workload submitted to processor procID at stream time
+// ready: the execution starts at the later of ready and the processor's
+// queue horizon (FIFO — earlier submissions finish first), runs for the
+// jittered latency, and pushes the horizon to its completion. Jitter draws,
+// meters and trace samples are identical to Exec; the global clock tracks
+// the latest completion instead of accumulating (AdvanceTo). This is the
+// contention primitive of the multi-stream serving runtime: concurrent
+// streams on one accelerator pay each other's execution latency as Wait.
+func (s *SoC) ExecFrom(procID string, ready time.Duration, latMean, powerMean float64) (Span, error) {
+	if _, err := s.Proc(procID); err != nil {
+		return Span{}, err
+	}
+	if latMean < 0 || powerMean < 0 {
+		return Span{}, fmt.Errorf("accel: negative workload parameters (%v s, %v W)", latMean, powerMean)
+	}
+	if ready < 0 {
+		return Span{}, fmt.Errorf("accel: negative ready time %v", ready)
+	}
+	lat := s.r.Jitter(latMean, s.LatJitter)
+	pow := s.r.Jitter(powerMean, s.PowerJitter)
+	d := time.Duration(lat * float64(time.Second))
+	start := ready
+	if bu := s.busy[procID]; bu > start {
+		start = bu
+	}
+	end := start + d
+	s.busy[procID] = end
+	s.Clock.AdvanceTo(end)
+	energy := d.Seconds() * pow // rounded duration, so Energy == Lat·Power exactly
+	s.Meter.BusyTime[procID] += d
+	s.Meter.Energy[procID] += energy
+	s.Meter.Execs[procID]++
+	if s.trace != nil {
+		s.trace.Samples = append(s.trace.Samples, TraceSample{
+			Proc: procID, Start: start, Dur: d, PowerW: pow,
+		})
+	}
+	return Span{Start: start, End: end, Wait: start - ready, Cost: Cost{Lat: d, Energy: energy, PowerW: pow}}, nil
+}
+
+// BusyUntil returns the processor's FIFO queue horizon: the completion time
+// of the last workload queued on it via ExecFrom.
+func (s *SoC) BusyUntil(procID string) time.Duration { return s.busy[procID] }
 
 // ProcIDsByKind returns processor IDs of the given kind in sorted order.
 func (s *SoC) ProcIDsByKind(k Kind) []string {

@@ -1,0 +1,122 @@
+package accel
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func TestExecFromQueuesFIFO(t *testing.T) {
+	s := testSoC()
+	// First submission: processor idle, starts at ready.
+	a, err := s.ExecFrom("gpu", 0, 0.1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Start != 0 || a.Wait != 0 {
+		t.Fatalf("idle processor queued: %+v", a)
+	}
+	if a.End != a.Start+a.Cost.Lat {
+		t.Fatalf("span end %v != start+lat %v", a.End, a.Start+a.Cost.Lat)
+	}
+	// Second submission ready before the first finishes: it queues.
+	b, err := s.ExecFrom("gpu", a.End/2, 0.1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Start != a.End {
+		t.Fatalf("second span started at %v, want the queue horizon %v", b.Start, a.End)
+	}
+	if b.Wait != a.End-a.End/2 {
+		t.Fatalf("wait %v, want %v", b.Wait, a.End-a.End/2)
+	}
+	if got := s.BusyUntil("gpu"); got != b.End {
+		t.Fatalf("BusyUntil %v, want %v", got, b.End)
+	}
+	// A different processor is unaffected.
+	c, err := s.ExecFrom("dla0", 0, 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Wait != 0 {
+		t.Fatalf("dla0 queued behind gpu work: %+v", c)
+	}
+	// The clock tracks the horizon (latest completion).
+	if s.Clock.Now() != b.End {
+		t.Fatalf("clock %v, want horizon %v", s.Clock.Now(), b.End)
+	}
+	// Submission after the horizon starts at its ready time.
+	d, err := s.ExecFrom("gpu", b.End+time.Second, 0.1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Start != b.End+time.Second || d.Wait != 0 {
+		t.Fatalf("late submission misqueued: %+v", d)
+	}
+}
+
+func TestExecFromValidation(t *testing.T) {
+	s := testSoC()
+	if _, err := s.ExecFrom("npu", 0, 0.1, 1); err == nil {
+		t.Fatal("unknown processor should fail")
+	}
+	if _, err := s.ExecFrom("gpu", 0, -0.1, 1); err == nil {
+		t.Fatal("negative latency should fail")
+	}
+	if _, err := s.ExecFrom("gpu", -time.Second, 0.1, 1); err == nil {
+		t.Fatal("negative ready time should fail")
+	}
+}
+
+// TestExecFromDrawsMatchExec pins that ExecFrom consumes jitter exactly like
+// Exec: the same stream position yields the same cost, so a single-stream
+// serve replays a solo run bit for bit.
+func TestExecFromDrawsMatchExec(t *testing.T) {
+	a := DefaultPlatform(rng.New(7))
+	b := DefaultPlatform(rng.New(7))
+	for i := 0; i < 20; i++ {
+		ca, err := a.Exec("gpu", 0.05, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := b.ExecFrom("gpu", sbReady(b), 0.05, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ca != sb.Cost {
+			t.Fatalf("draw %d: Exec cost %+v != ExecFrom cost %+v", i, ca, sb.Cost)
+		}
+	}
+}
+
+// sbReady submits at the queue horizon, mimicking a lone sequential stream.
+func sbReady(s *SoC) time.Duration { return s.BusyUntil("gpu") }
+
+func TestClockAdvanceTo(t *testing.T) {
+	c := &Clock{}
+	c.AdvanceTo(3 * time.Second)
+	if c.Now() != 3*time.Second {
+		t.Fatalf("clock %v", c.Now())
+	}
+	// Earlier targets are a no-op, not a rewind.
+	c.AdvanceTo(time.Second)
+	if c.Now() != 3*time.Second {
+		t.Fatalf("AdvanceTo rewound the clock to %v", c.Now())
+	}
+}
+
+func TestExecFromMetersAndTrace(t *testing.T) {
+	s := testSoC()
+	trace := s.AttachTrace()
+	sp, err := s.ExecFrom("gpu", time.Second, 0.2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Meter.Execs["gpu"] != 1 || s.Meter.BusyTime["gpu"] != sp.Cost.Lat {
+		t.Fatal("meter not charged")
+	}
+	if len(trace.Samples) != 1 || trace.Samples[0].Start != sp.Start {
+		t.Fatalf("trace sample missing or misplaced: %+v", trace.Samples)
+	}
+}

@@ -12,9 +12,12 @@
 //     latency). Following the paper, the Oracle assumes all models are
 //     resident (no load costs) and pays only the chosen pair's execution.
 //
-// All baselines run on the same virtual platform, the same deterministic
-// detections and the same rendered frames as SHIFT, so Table III comparisons
-// are apples-to-apples.
+// Each baseline is a thin runtime.Policy over the shared step engine
+// (package runtime), so all methods — including SHIFT — run the same
+// per-frame loop on the same virtual platform, the same deterministic
+// detections and the same rendered frames, and Table III comparisons are
+// apples-to-apples. The conformance suite in this package pins the loop
+// invariants every policy must share.
 package baseline
 
 import (
@@ -23,6 +26,7 @@ import (
 	"repro/internal/detmodel"
 	"repro/internal/loader"
 	"repro/internal/pipeline"
+	"repro/internal/runtime"
 	"repro/internal/scene"
 	"repro/internal/track"
 	"repro/internal/zoo"
@@ -38,11 +42,15 @@ func findPair(sys *zoo.System, model, procID string) (zoo.Pair, error) {
 	return zoo.Pair{}, fmt.Errorf("baseline: no runtime pair %s@%s", model, procID)
 }
 
+// newEngine wraps a policy in a solo engine with its own LRR loader.
+func newEngine(sys *zoo.System, pol runtime.Policy) *runtime.Engine {
+	return runtime.NewEngine(sys, loader.New(sys, loader.EvictLRR), pol)
+}
+
 // SingleModel runs one fixed pair on every frame.
 type SingleModel struct {
-	sys  *zoo.System
 	pair zoo.Pair
-	dml  *loader.Loader
+	eng  *runtime.Engine
 }
 
 // NewSingleModel builds the conventional single-model runner.
@@ -51,7 +59,7 @@ func NewSingleModel(sys *zoo.System, model, procID string) (*SingleModel, error)
 	if err != nil {
 		return nil, err
 	}
-	return &SingleModel{sys: sys, pair: pair, dml: loader.New(sys, loader.EvictLRR)}, nil
+	return &SingleModel{pair: pair, eng: newEngine(sys, &singleModelPolicy{pair: pair})}, nil
 }
 
 // Name implements pipeline.Runner.
@@ -59,37 +67,36 @@ func (s *SingleModel) Name() string { return s.pair.Model + "@" + s.pair.ProcID 
 
 // Run implements pipeline.Runner.
 func (s *SingleModel) Run(scenario string, frames []scene.Frame) (*pipeline.Result, error) {
-	res := &pipeline.Result{Method: s.Name(), Scenario: scenario}
-	entry, err := s.sys.Entry(s.pair.Model)
-	if err != nil {
-		return nil, err
-	}
-	perf, err := s.sys.Perf(s.pair.Model, s.pair.ProcID)
-	if err != nil {
-		return nil, err
-	}
-	for _, frame := range frames {
-		rec := pipeline.FrameRecord{Index: frame.Index, Pair: s.pair}
-		loadCost, err := s.dml.Ensure(s.pair)
-		if err != nil {
-			return nil, err
-		}
-		rec.LoadedModel = loadCost.Lat > 0
-		rec.LatSec += loadCost.Lat.Seconds()
-		rec.EnergyJ += loadCost.Energy
+	return s.eng.Run(scenario, frames)
+}
 
-		execCost, err := s.sys.SoC.Exec(s.pair.ProcID, perf.LatencySec, perf.PowerW)
-		if err != nil {
-			return nil, err
-		}
-		rec.LatSec += execCost.Lat.Seconds()
-		rec.EnergyJ += execCost.Energy
+// singleModelPolicy serves every frame from one fixed pair.
+type singleModelPolicy struct {
+	pair zoo.Pair
+}
 
-		det := entry.Model.Detect(frame, s.sys.Seed)
-		rec.Found, rec.Conf, rec.IoU, rec.Box = det.Found, det.Conf, det.IoU, det.Box
-		res.Records = append(res.Records, rec)
+// Name implements runtime.Policy.
+func (p *singleModelPolicy) Name() string { return p.pair.Model + "@" + p.pair.ProcID }
+
+// Reset implements runtime.Policy (no per-stream state).
+func (p *singleModelPolicy) Reset(*runtime.Engine) error { return nil }
+
+// Step implements runtime.Policy.
+func (p *singleModelPolicy) Step(st *runtime.Step) error {
+	pair, err := st.Acquire(p.pair)
+	if err != nil {
+		return err
 	}
-	return res, nil
+	st.Rec().Pair = pair
+	if err := st.Exec(pair); err != nil {
+		return err
+	}
+	det, err := st.Detect(pair.Model)
+	if err != nil {
+		return err
+	}
+	st.RecordDetection(det)
+	return nil
 }
 
 // MarlinConfig tunes the Marlin baseline.
@@ -127,15 +134,40 @@ func DefaultMarlinConfig() MarlinConfig {
 
 // Marlin is the DNN+tracker alternation baseline.
 type Marlin struct {
-	sys  *zoo.System
-	cfg  MarlinConfig
-	pair zoo.Pair
-	dml  *loader.Loader
-	name string
+	pol *marlinPolicy
+	eng *runtime.Engine
 }
 
 // NewMarlin builds a Marlin runner.
 func NewMarlin(sys *zoo.System, cfg MarlinConfig) (*Marlin, error) {
+	pol, err := newMarlinPolicy(sys, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Marlin{pol: pol, eng: newEngine(sys, pol)}, nil
+}
+
+// Name implements pipeline.Runner.
+func (m *Marlin) Name() string { return m.pol.Name() }
+
+// Run implements pipeline.Runner.
+func (m *Marlin) Run(scenario string, frames []scene.Frame) (*pipeline.Result, error) {
+	return m.eng.Run(scenario, frames)
+}
+
+// marlinPolicy alternates the DNN with the template tracker.
+type marlinPolicy struct {
+	cfg  MarlinConfig
+	pair zoo.Pair
+	name string
+
+	tr                 *track.Tracker
+	lastFixX, lastFixY float64
+	trackAge           int
+}
+
+// newMarlinPolicy validates the configuration and resolves the DNN pair.
+func newMarlinPolicy(sys *zoo.System, cfg MarlinConfig) (*marlinPolicy, error) {
 	pair, err := findPair(sys, cfg.Model, cfg.ProcID)
 	if err != nil {
 		return nil, err
@@ -147,89 +179,74 @@ func NewMarlin(sys *zoo.System, cfg MarlinConfig) (*Marlin, error) {
 	if cfg.Model == detmodel.YoloV7Tiny {
 		name = "Marlin Tiny"
 	}
-	return &Marlin{sys: sys, cfg: cfg, pair: pair, dml: loader.New(sys, loader.EvictLRR), name: name}, nil
+	return &marlinPolicy{cfg: cfg, pair: pair, name: name}, nil
 }
 
-// Name implements pipeline.Runner.
-func (m *Marlin) Name() string { return m.name }
+// Name implements runtime.Policy.
+func (p *marlinPolicy) Name() string { return p.name }
 
-// Run implements pipeline.Runner.
-func (m *Marlin) Run(scenario string, frames []scene.Frame) (*pipeline.Result, error) {
-	res := &pipeline.Result{Method: m.Name(), Scenario: scenario}
-	entry, err := m.sys.Entry(m.pair.Model)
+// Reset implements runtime.Policy: fresh tracker and fix history.
+func (p *marlinPolicy) Reset(*runtime.Engine) error {
+	tr, err := track.New(p.cfg.Tracker)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	perf, err := m.sys.Perf(m.pair.Model, m.pair.ProcID)
-	if err != nil {
-		return nil, err
-	}
-	tr, err := track.New(m.cfg.Tracker)
-	if err != nil {
-		return nil, err
-	}
+	p.tr = tr
+	p.lastFixX, p.lastFixY = 0, 0
+	p.trackAge = 0
+	return nil
+}
 
-	var lastFixX, lastFixY float64
-	trackAge := 0
-	for _, frame := range frames {
-		rec := pipeline.FrameRecord{Index: frame.Index, Pair: m.pair}
+// Step implements runtime.Policy.
+func (p *marlinPolicy) Step(st *runtime.Step) error {
+	st.Rec().Pair = p.pair
 
-		// Tracker step (CPU cost) whenever a target is held.
-		needDNN := true
-		if tr.Active() {
-			cost, err := m.sys.SoC.Exec("cpu", zoo.TrackerOverhead.LatencySec, zoo.TrackerOverhead.PowerW)
-			if err != nil {
-				return nil, err
-			}
-			rec.LatSec += cost.Lat.Seconds()
-			rec.EnergyJ += cost.Energy
-
-			box, score, ok := tr.Step(frame.Image)
-			if ok {
-				cx, cy := box.Center()
-				moved := abs(cx-lastFixX) > m.cfg.MotionThreshold ||
-					abs(cy-lastFixY) > m.cfg.MotionThreshold
-				trackAge++
-				if !moved && trackAge < m.cfg.MaxTrackAge {
-					// Tracker-only frame.
-					needDNN = false
-					rec.Found = true
-					rec.Conf = score
-					rec.IoU = box.IoU(frame.GT)
-					rec.Box = box
-				}
+	// Tracker step (CPU cost) whenever a target is held.
+	needDNN := true
+	if p.tr.Active() {
+		if err := st.ExecPerf("cpu", zoo.TrackerOverhead.LatencySec, zoo.TrackerOverhead.PowerW); err != nil {
+			return err
+		}
+		box, score, ok := p.tr.Step(st.Frame().Image)
+		if ok {
+			cx, cy := box.Center()
+			moved := abs(cx-p.lastFixX) > p.cfg.MotionThreshold ||
+				abs(cy-p.lastFixY) > p.cfg.MotionThreshold
+			p.trackAge++
+			if !moved && p.trackAge < p.cfg.MaxTrackAge {
+				// Tracker-only frame.
+				needDNN = false
+				rec := st.Rec()
+				rec.Found = true
+				rec.Conf = score
+				rec.IoU = box.IoU(st.Frame().GT)
+				rec.Box = box
 			}
 		}
-
-		if needDNN {
-			loadCost, err := m.dml.Ensure(m.pair)
-			if err != nil {
-				return nil, err
-			}
-			rec.LoadedModel = loadCost.Lat > 0
-			rec.LatSec += loadCost.Lat.Seconds()
-			rec.EnergyJ += loadCost.Energy
-
-			execCost, err := m.sys.SoC.Exec(m.pair.ProcID, perf.LatencySec, perf.PowerW)
-			if err != nil {
-				return nil, err
-			}
-			rec.LatSec += execCost.Lat.Seconds()
-			rec.EnergyJ += execCost.Energy
-
-			det := entry.Model.Detect(frame, m.sys.Seed)
-			rec.Found, rec.Conf, rec.IoU, rec.Box = det.Found, det.Conf, det.IoU, det.Box
-			trackAge = 0
-			if det.Found {
-				tr.Init(frame.Image, det.Box)
-				lastFixX, lastFixY = det.Box.Center()
-			} else {
-				tr.Drop()
-			}
-		}
-		res.Records = append(res.Records, rec)
 	}
-	return res, nil
+
+	if needDNN {
+		pair, err := st.Acquire(p.pair)
+		if err != nil {
+			return err
+		}
+		if err := st.Exec(pair); err != nil {
+			return err
+		}
+		det, err := st.Detect(pair.Model)
+		if err != nil {
+			return err
+		}
+		st.RecordDetection(det)
+		p.trackAge = 0
+		if det.Found {
+			p.tr.Init(st.Frame().Image, det.Box)
+			p.lastFixX, p.lastFixY = det.Box.Center()
+		} else {
+			p.tr.Drop()
+		}
+	}
+	return nil
 }
 
 func abs(v float64) float64 {

@@ -3,8 +3,8 @@ package baseline
 import (
 	"fmt"
 
-	"repro/internal/loader"
 	"repro/internal/pipeline"
+	"repro/internal/runtime"
 	"repro/internal/scene"
 	"repro/internal/zoo"
 )
@@ -18,10 +18,8 @@ import (
 // that SHIFT needs neither tracking nor skipping; this baseline quantifies
 // what skipping alone would give up.
 type FrameSkip struct {
-	sys  *zoo.System
-	pair zoo.Pair
-	skip int
-	dml  *loader.Loader
+	pol *frameSkipPolicy
+	eng *runtime.Engine
 }
 
 // NewFrameSkip builds a skipping runner: the DNN runs on frames where
@@ -34,62 +32,70 @@ func NewFrameSkip(sys *zoo.System, model, procID string, skip int) (*FrameSkip, 
 	if err != nil {
 		return nil, err
 	}
-	return &FrameSkip{sys: sys, pair: pair, skip: skip, dml: loader.New(sys, loader.EvictLRR)}, nil
+	pol := &frameSkipPolicy{pair: pair, skip: skip}
+	return &FrameSkip{pol: pol, eng: newEngine(sys, pol)}, nil
 }
 
 // Name implements pipeline.Runner.
-func (f *FrameSkip) Name() string {
-	return fmt.Sprintf("%s@%s skip=%d", f.pair.Model, f.pair.ProcID, f.skip)
-}
+func (f *FrameSkip) Name() string { return f.pol.Name() }
 
 // Run implements pipeline.Runner.
 func (f *FrameSkip) Run(scenario string, frames []scene.Frame) (*pipeline.Result, error) {
-	res := &pipeline.Result{Method: f.Name(), Scenario: scenario}
-	entry, err := f.sys.Entry(f.pair.Model)
-	if err != nil {
-		return nil, err
-	}
-	perf, err := f.sys.Perf(f.pair.Model, f.pair.ProcID)
-	if err != nil {
-		return nil, err
-	}
-	var last pipeline.FrameRecord
-	haveLast := false
-	for i, frame := range frames {
-		rec := pipeline.FrameRecord{Index: frame.Index, Pair: f.pair}
-		if i%f.skip == 0 {
-			loadCost, err := f.dml.Ensure(f.pair)
-			if err != nil {
-				return nil, err
-			}
-			rec.LoadedModel = loadCost.Lat > 0
-			rec.LatSec += loadCost.Lat.Seconds()
-			rec.EnergyJ += loadCost.Energy
+	return f.eng.Run(scenario, frames)
+}
 
-			execCost, err := f.sys.SoC.Exec(f.pair.ProcID, perf.LatencySec, perf.PowerW)
-			if err != nil {
-				return nil, err
-			}
-			rec.LatSec += execCost.Lat.Seconds()
-			rec.EnergyJ += execCost.Energy
+// frameSkipPolicy runs the DNN every Nth frame and serves the stale
+// detection in between.
+type frameSkipPolicy struct {
+	pair zoo.Pair
+	skip int
 
-			det := entry.Model.Detect(frame, f.sys.Seed)
-			rec.Found, rec.Conf, rec.IoU, rec.Box = det.Found, det.Conf, det.IoU, det.Box
-			last = rec
-			haveLast = true
-		} else if haveLast && last.Found {
-			// Reuse the stale detection; score it against this frame's
-			// ground truth — the accuracy a consumer actually sees.
-			rec.Found = true
-			rec.Conf = last.Conf
-			rec.Box = last.Box
-			rec.IoU = last.Box.IoU(frame.GT)
-			// Skipped frames still pay a negligible copy cost; model it as
-			// zero compute but non-zero bookkeeping is below measurement
-			// granularity, so charge nothing (the most favourable case for
-			// the baseline).
+	last     runtime.FrameRecord
+	haveLast bool
+}
+
+// Name implements runtime.Policy.
+func (p *frameSkipPolicy) Name() string {
+	return fmt.Sprintf("%s@%s skip=%d", p.pair.Model, p.pair.ProcID, p.skip)
+}
+
+// Reset implements runtime.Policy: forget the stale detection.
+func (p *frameSkipPolicy) Reset(*runtime.Engine) error {
+	p.last = runtime.FrameRecord{}
+	p.haveLast = false
+	return nil
+}
+
+// Step implements runtime.Policy.
+func (p *frameSkipPolicy) Step(st *runtime.Step) error {
+	st.Rec().Pair = p.pair
+	if st.Pos()%p.skip == 0 {
+		pair, err := st.Acquire(p.pair)
+		if err != nil {
+			return err
 		}
-		res.Records = append(res.Records, rec)
+		if err := st.Exec(pair); err != nil {
+			return err
+		}
+		det, err := st.Detect(pair.Model)
+		if err != nil {
+			return err
+		}
+		st.RecordDetection(det)
+		p.last = *st.Rec()
+		p.haveLast = true
+	} else if p.haveLast && p.last.Found {
+		// Reuse the stale detection; score it against this frame's
+		// ground truth — the accuracy a consumer actually sees.
+		rec := st.Rec()
+		rec.Found = true
+		rec.Conf = p.last.Conf
+		rec.Box = p.last.Box
+		rec.IoU = p.last.Box.IoU(st.Frame().GT)
+		// Skipped frames still pay a negligible copy cost; model it as
+		// zero compute but non-zero bookkeeping is below measurement
+		// granularity, so charge nothing (the most favourable case for
+		// the baseline).
 	}
-	return res, nil
+	return nil
 }

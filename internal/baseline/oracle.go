@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/geom"
-	"repro/internal/loader"
 	"repro/internal/pipeline"
+	"repro/internal/runtime"
 	"repro/internal/scene"
 	"repro/internal/zoo"
 )
@@ -44,27 +44,21 @@ func (m OracleMetric) String() string {
 // All models are assumed resident: switching is free and no load costs are
 // charged, exactly as the paper defines the Oracle.
 type Oracle struct {
-	sys    *zoo.System
-	metric OracleMetric
-	// candidates are deduplicated per (model, kind).
-	candidates []zoo.Pair
-	// chargeLoads switches on the load-aware variant: instead of assuming
-	// every model resident, the oracle pays real DML loads and evictions.
-	// The delta against the standard oracle quantifies how much of the
-	// ceiling comes from the paper's free-switching assumption.
-	chargeLoads bool
-	dml         *loader.Loader
+	pol *oraclePolicy
+	eng *runtime.Engine
 }
 
 // NewOracleWithLoads builds the load-aware oracle variant (not part of
-// Table III; used by the assumptions ablation).
+// Table III; used by the assumptions ablation): instead of assuming every
+// model resident, the oracle pays real DML loads and evictions. The delta
+// against the standard oracle quantifies how much of the ceiling comes from
+// the paper's free-switching assumption.
 func NewOracleWithLoads(sys *zoo.System, metric OracleMetric) (*Oracle, error) {
 	o, err := NewOracle(sys, metric)
 	if err != nil {
 		return nil, err
 	}
-	o.chargeLoads = true
-	o.dml = loader.New(sys, loader.EvictLRR)
+	o.pol.chargeLoads = true
 	return o, nil
 }
 
@@ -86,23 +80,45 @@ func NewOracle(sys *zoo.System, metric OracleMetric) (*Oracle, error) {
 	if len(cands) == 0 {
 		return nil, fmt.Errorf("baseline: system has no runtime pairs")
 	}
-	return &Oracle{sys: sys, metric: metric, candidates: cands}, nil
+	pol := &oraclePolicy{sys: sys, metric: metric, candidates: cands}
+	return &Oracle{pol: pol, eng: newEngine(sys, pol)}, nil
 }
 
 // Name implements pipeline.Runner.
-func (o *Oracle) Name() string {
-	if o.chargeLoads {
-		return o.metric.String() + " (loads)"
-	}
-	return o.metric.String()
+func (o *Oracle) Name() string { return o.pol.Name() }
+
+// Run implements pipeline.Runner.
+func (o *Oracle) Run(scenario string, frames []scene.Frame) (*pipeline.Result, error) {
+	return o.eng.Run(scenario, frames)
 }
+
+// oraclePolicy evaluates every candidate per frame and executes the best.
+type oraclePolicy struct {
+	sys    *zoo.System
+	metric OracleMetric
+	// candidates are deduplicated per (model, kind).
+	candidates []zoo.Pair
+	// chargeLoads switches on the load-aware variant.
+	chargeLoads bool
+}
+
+// Name implements runtime.Policy.
+func (p *oraclePolicy) Name() string {
+	if p.chargeLoads {
+		return p.metric.String() + " (loads)"
+	}
+	return p.metric.String()
+}
+
+// Reset implements runtime.Policy (no per-stream state).
+func (p *oraclePolicy) Reset(*runtime.Engine) error { return nil }
 
 // better reports whether challenger (with its outcome) beats incumbent under
 // the oracle's metric. Ties break toward the lexicographically smaller pair
 // string for determinism.
-func (o *Oracle) better(challenger, incumbent candidateOutcome) bool {
+func (p *oraclePolicy) better(challenger, incumbent candidateOutcome) bool {
 	var c, i float64
-	switch o.metric {
+	switch p.metric {
 	case OracleEnergy:
 		c, i = -challenger.energy, -incumbent.energy
 	case OracleAccuracy:
@@ -127,81 +143,77 @@ type candidateOutcome struct {
 	energy  float64
 }
 
-// Run implements pipeline.Runner.
-func (o *Oracle) Run(scenario string, frames []scene.Frame) (*pipeline.Result, error) {
-	res := &pipeline.Result{Method: o.Name(), Scenario: scenario}
-	var prevPair zoo.Pair
-	havePrev := false
-	for _, frame := range frames {
-		// Evaluate every candidate's actual outcome on this frame.
-		var best candidateOutcome
-		haveBest := false
-		var bestQualified candidateOutcome
-		haveQualified := false
-		for _, p := range o.candidates {
-			entry, err := o.sys.Entry(p.Model)
-			if err != nil {
-				return nil, err
-			}
-			perf := entry.PerfByKind[p.Kind]
-			det := entry.Model.Detect(frame, o.sys.Seed)
-			out := candidateOutcome{
-				pair:    p,
-				found:   det.Found,
-				conf:    det.Conf,
-				iou:     det.IoU,
-				box:     det.Box,
-				latency: perf.LatencySec,
-				energy:  perf.EnergyJ(),
-			}
-			if !haveBest || o.better(out, best) {
-				best = out
-				haveBest = true
-			}
-			if out.iou >= 0.5 {
-				if !haveQualified || o.better(out, bestQualified) {
-					bestQualified = out
-					haveQualified = true
-				}
-			}
-		}
-		choice := best
-		if haveQualified {
-			choice = bestQualified
-		}
-
-		rec := pipeline.FrameRecord{
-			Index: frame.Index,
-			Pair:  choice.pair,
-			Found: choice.found,
-			Conf:  choice.conf,
-			IoU:   choice.iou,
-			Box:   choice.box,
-		}
-		rec.Swapped = havePrev && choice.pair != prevPair
-		prevPair, havePrev = choice.pair, true
-
-		// The load-aware variant pays residency like any real deployment.
-		if o.chargeLoads {
-			loadCost, err := o.dml.Ensure(choice.pair)
-			if err != nil {
-				return nil, err
-			}
-			rec.LoadedModel = loadCost.Lat > 0
-			rec.LatSec += loadCost.Lat.Seconds()
-			rec.EnergyJ += loadCost.Energy
-		}
-
-		// Execute only the chosen pair on the virtual platform.
-		cost, err := o.sys.SoC.Exec(choice.pair.ProcID, choice.latency, choice.energy/maxf(choice.latency, 1e-9))
-		if err != nil {
-			return nil, err
-		}
-		rec.LatSec += cost.Lat.Seconds()
-		rec.EnergyJ += cost.Energy
-		res.Records = append(res.Records, rec)
+// outcome evaluates one candidate's actual result on the current frame.
+func (p *oraclePolicy) outcome(st *runtime.Step, pair zoo.Pair) (candidateOutcome, error) {
+	entry, err := p.sys.Entry(pair.Model)
+	if err != nil {
+		return candidateOutcome{}, err
 	}
-	return res, nil
+	perf := entry.PerfByKind[pair.Kind]
+	det, err := st.Detect(pair.Model)
+	if err != nil {
+		return candidateOutcome{}, err
+	}
+	return candidateOutcome{
+		pair:    pair,
+		found:   det.Found,
+		conf:    det.Conf,
+		iou:     det.IoU,
+		box:     det.Box,
+		latency: perf.LatencySec,
+		energy:  perf.EnergyJ(),
+	}, nil
+}
+
+// Step implements runtime.Policy.
+func (p *oraclePolicy) Step(st *runtime.Step) error {
+	// Evaluate every candidate's actual outcome on this frame.
+	var best candidateOutcome
+	haveBest := false
+	var bestQualified candidateOutcome
+	haveQualified := false
+	for _, c := range p.candidates {
+		out, err := p.outcome(st, c)
+		if err != nil {
+			return err
+		}
+		if !haveBest || p.better(out, best) {
+			best = out
+			haveBest = true
+		}
+		if out.iou >= 0.5 {
+			if !haveQualified || p.better(out, bestQualified) {
+				bestQualified = out
+				haveQualified = true
+			}
+		}
+	}
+	choice := best
+	if haveQualified {
+		choice = bestQualified
+	}
+
+	// The load-aware variant pays residency like any real deployment; under
+	// multi-stream memory pressure the engine may substitute the pair this
+	// stream already holds, in which case the outcome is re-evaluated.
+	if p.chargeLoads {
+		pair, err := st.Acquire(choice.pair)
+		if err != nil {
+			return err
+		}
+		if pair != choice.pair {
+			if choice, err = p.outcome(st, pair); err != nil {
+				return err
+			}
+		}
+	}
+
+	rec := st.Rec()
+	rec.Pair = choice.pair
+	rec.Found, rec.Conf, rec.IoU, rec.Box = choice.found, choice.conf, choice.iou, choice.box
+
+	// Execute only the chosen pair on the virtual platform.
+	return st.ExecPerf(choice.pair.ProcID, choice.latency, choice.energy/maxf(choice.latency, 1e-9))
 }
 
 func maxf(a, b float64) float64 {

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	gort "runtime"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/scene"
+)
+
+// quickMultiStreamConfig keeps the sweep small for tests.
+func quickMultiStreamConfig(counts ...int) MultiStreamConfig {
+	return MultiStreamConfig{
+		StreamCounts: counts,
+		PeriodSec:    0.1,
+		MaxFrames:    200,
+	}
+}
+
+func TestMultiStreamSingleStreamMatchesSoloRun(t *testing.T) {
+	env, err := Shared()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MultiStream(env, quickMultiStreamConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := res.PerStream[1]
+	if len(streams) != 1 {
+		t.Fatalf("%d streams for count 1", len(streams))
+	}
+	// One stream on the serving event loop must be bit-identical to the
+	// solo pipeline over the same frames: queueing cannot exist without a
+	// second stream.
+	sc := scene.EvaluationSuite()[0]
+	frames := env.Frames(sc)[:200]
+	shift, err := pipeline.NewSHIFT(env.System(), env.Ch, env.Graph, pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := shift.Run(sc.Name, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := streams[0].Result.Records
+	if len(got) != len(solo.Records) {
+		t.Fatalf("served %d records, solo %d", len(got), len(solo.Records))
+	}
+	for i := range solo.Records {
+		if got[i] != solo.Records[i] {
+			t.Fatalf("record %d differs:\nserved %+v\nsolo   %+v", i, got[i], solo.Records[i])
+		}
+	}
+	row, _ := res.Row(1)
+	if row.AvgQueueWaitSec != 0 {
+		t.Fatalf("a lone stream paid %.6fs of queueing", row.AvgQueueWaitSec)
+	}
+}
+
+func TestMultiStreamContentionGrowsWithStreams(t *testing.T) {
+	env, err := Shared()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MultiStream(env, quickMultiStreamConfig(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, ok1 := res.Row(1)
+	four, ok4 := res.Row(4)
+	if !ok1 || !ok4 {
+		t.Fatal("missing sweep rows")
+	}
+	if one.Frames != 200 || four.Frames != 4*200 {
+		t.Fatalf("frame totals %d/%d, want 200/800", one.Frames, four.Frames)
+	}
+	if four.AvgQueueWaitSec <= 0 {
+		t.Fatal("four contending streams paid no queueing delay")
+	}
+	if four.Latency.P99 < four.Latency.P50 || four.Latency.Max < four.Latency.P99 {
+		t.Fatalf("latency profile not ordered: %+v", four.Latency)
+	}
+	if four.Latency.P99 < one.Latency.P99 {
+		t.Fatalf("tail latency shrank under contention: %v vs %v",
+			four.Latency.P99, one.Latency.P99)
+	}
+	for _, row := range res.Rows {
+		if row.DeadlineMissRate < 0 || row.DeadlineMissRate > 1 {
+			t.Fatalf("miss rate %v out of range", row.DeadlineMissRate)
+		}
+	}
+	if res.Report() == "" {
+		t.Fatal("empty report")
+	}
+}
+
+// TestMultiStreamDeterministicAcrossWorkerCounts pins the acceptance
+// criterion: the sweep's results cannot depend on the host's core count.
+func TestMultiStreamDeterministicAcrossWorkerCounts(t *testing.T) {
+	env, err := Shared()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *MultiStreamResult {
+		res, err := MultiStream(env, quickMultiStreamConfig(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	prev := gort.GOMAXPROCS(1)
+	a := run()
+	gort.GOMAXPROCS(8)
+	b := run()
+	gort.GOMAXPROCS(prev)
+	for si := range a.PerStream[3] {
+		ra, rb := a.PerStream[3][si], b.PerStream[3][si]
+		for i := range ra.Result.Records {
+			if ra.Result.Records[i] != rb.Result.Records[i] {
+				t.Fatalf("stream %d record %d differs across worker counts", si, i)
+			}
+			if ra.Timings[i] != rb.Timings[i] {
+				t.Fatalf("stream %d timing %d differs across worker counts", si, i)
+			}
+		}
+	}
+	if a.Rows[0] != b.Rows[0] {
+		t.Fatalf("sweep rows differ across worker counts:\n%+v\n%+v", a.Rows[0], b.Rows[0])
+	}
+}
+
+func TestMultiStreamValidation(t *testing.T) {
+	env, err := Shared()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MultiStream(env, MultiStreamConfig{StreamCounts: []int{1}, PeriodSec: 0}); err == nil {
+		t.Fatal("zero period should fail")
+	}
+	if _, err := MultiStream(env, MultiStreamConfig{StreamCounts: []int{0}, PeriodSec: 0.1}); err == nil {
+		t.Fatal("zero stream count should fail")
+	}
+}

@@ -132,5 +132,14 @@ func ComparisonReport(env *Env) (string, error) {
 	} {
 		fmt.Fprintf(&b, "- %-12s %s\n", entry.name, entry.res)
 	}
+	// Multi-stream serving extension: the contention regime beyond the
+	// paper's single-stream evaluation.
+	ms, err := MultiStream(env, DefaultMultiStreamConfig())
+	if err != nil {
+		return "", err
+	}
+	b.WriteString("\n### Multi-stream serving extension\n\n")
+	b.WriteString(ms.Report())
+
 	return b.String(), nil
 }

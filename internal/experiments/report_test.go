@@ -16,6 +16,7 @@ func TestComparisonReportComplete(t *testing.T) {
 		"SHIFT", "Marlin", "Oracle E", "Oracle A", "Oracle L",
 		"deadline extension",
 		"YoloV7-E6E", "SSD-MobilenetV2-320",
+		"Multi-stream serving", "Lat p99",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q", want)

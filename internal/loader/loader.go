@@ -11,11 +11,19 @@
 package loader
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/accel"
 	"repro/internal/zoo"
 )
+
+// ErrNoMemory reports that a load cannot proceed because the pool cannot
+// free enough bytes: every candidate victim is either the engine being
+// loaded or is reference-held by a stream (Acquire). The check runs before
+// any eviction, so a refused load leaves residency untouched — the serving
+// runtime reacts by keeping the stream on the engine it already holds.
+var ErrNoMemory = errors.New("insufficient evictable memory")
 
 // EvictionPolicy selects which resident model is evicted when space is
 // needed. The paper uses least-recently-requested; the alternatives exist
@@ -54,6 +62,9 @@ type resident struct {
 	bytes       int64
 	loadedSeq   uint64 // sequence number at load time (FIFO)
 	requestedAt uint64 // last request sequence (LRR)
+	// refs counts the streams currently serving from this engine
+	// (Acquire/Release). A reference-held engine is never evicted.
+	refs int
 }
 
 // Stats accumulates loader activity for Table III-style reporting.
@@ -171,11 +182,24 @@ func (l *Loader) loadCost(model, poolName string) (zoo.LoadCost, error) {
 	return lc, nil
 }
 
+// ExecFn charges a load workload to the platform. The serving runtime
+// substitutes a contention-aware (queueing) execution; nil means the
+// classic clock-advancing accel.SoC.Exec.
+type ExecFn func(procID string, latSec, powerW float64) (accel.Cost, error)
+
 // Ensure makes the engine for pair resident, evicting if necessary, and
 // returns the cost charged (zero if already resident — only the request
 // recency is refreshed). The engine being requested is pinned for the
 // duration of the call so it can never evict itself.
 func (l *Loader) Ensure(pair zoo.Pair) (accel.Cost, error) {
+	return l.EnsureWith(pair, nil)
+}
+
+// EnsureWith is Ensure with the load charged through exec (nil = the
+// platform's clock-advancing Exec). Before evicting anything it verifies
+// that enough unheld bytes exist to fit the engine; if not it fails with
+// ErrNoMemory, leaving residency untouched.
+func (l *Loader) EnsureWith(pair zoo.Pair, exec ExecFn) (accel.Cost, error) {
 	pi, err := l.info(pair)
 	if err != nil {
 		return accel.Cost{}, err
@@ -202,9 +226,14 @@ func (l *Loader) Ensure(pair zoo.Pair) (accel.Cost, error) {
 			pair.Model, lc.Bytes, pool.Name, pool.Capacity)
 	}
 
-	// Evict until the engine fits.
+	// Evict until the engine fits — but only if eviction can succeed at
+	// all, so a doomed load never tears down residency first.
 	l.pinned[pool.Name] = key
 	defer delete(l.pinned, pool.Name)
+	if pool.Available()+l.evictableBytes(pool) < lc.Bytes {
+		return accel.Cost{}, fmt.Errorf("loader: %s (%d bytes) cannot fit in pool %s: %w",
+			pair.Model, lc.Bytes, pool.Name, ErrNoMemory)
+	}
 	for pool.Available() < lc.Bytes {
 		if err := l.evictOne(pool); err != nil {
 			return accel.Cost{}, err
@@ -225,7 +254,10 @@ func (l *Loader) Ensure(pair zoo.Pair) (accel.Cost, error) {
 	}
 
 	// Charge the load to the requesting processor on the virtual platform.
-	cost, err := l.sys.SoC.Exec(pair.ProcID, lc.TimeSec, lc.PowerW)
+	if exec == nil {
+		exec = l.sys.SoC.Exec
+	}
+	cost, err := exec(pair.ProcID, lc.TimeSec, lc.PowerW)
 	if err != nil {
 		return accel.Cost{}, err
 	}
@@ -233,6 +265,68 @@ func (l *Loader) Ensure(pair zoo.Pair) (accel.Cost, error) {
 	l.stats.LoadTimeSec += cost.Lat.Seconds()
 	l.stats.LoadEnergyJ += cost.Energy
 	return cost, nil
+}
+
+// evictableBytes sums the resident bytes eviction may reclaim: everything
+// except the pinned (being-loaded) key and reference-held engines.
+func (l *Loader) evictableBytes(pool *accel.MemPool) int64 {
+	var sum int64
+	pinnedKey := l.pinned[pool.Name]
+	for _, r := range l.resident[pool.Name] {
+		if r.key == pinnedKey || r.refs > 0 {
+			continue
+		}
+		sum += r.bytes
+	}
+	return sum
+}
+
+// findResident returns the residency bookkeeping for pair, if loaded.
+func (l *Loader) findResident(pair zoo.Pair) (*resident, error) {
+	pi, err := l.info(pair)
+	if err != nil {
+		return nil, err
+	}
+	r, ok := l.resident[pi.pool.Name][pi.key]
+	if !ok {
+		return nil, fmt.Errorf("loader: %s is not resident in pool %s", pi.key, pi.pool.Name)
+	}
+	return r, nil
+}
+
+// Acquire takes a residency reference on pair's (already resident) engine:
+// while any stream holds a reference, the engine cannot be evicted. Streams
+// serving the same (model, kind) share one engine and stack references.
+func (l *Loader) Acquire(pair zoo.Pair) error {
+	r, err := l.findResident(pair)
+	if err != nil {
+		return fmt.Errorf("loader: acquire: %w", err)
+	}
+	r.refs++
+	return nil
+}
+
+// Release drops one residency reference taken by Acquire.
+func (l *Loader) Release(pair zoo.Pair) error {
+	r, err := l.findResident(pair)
+	if err != nil {
+		return fmt.Errorf("loader: release: %w", err)
+	}
+	if r.refs <= 0 {
+		return fmt.Errorf("loader: release of %s without a matching acquire", r.key)
+	}
+	r.refs--
+	return nil
+}
+
+// Refs returns the number of residency references held on pair's engine
+// (zero when absent).
+func (l *Loader) Refs(pair zoo.Pair) int {
+	r, err := l.findResident(pair)
+	if err != nil {
+		return 0
+	}
+	return r.refs
 }
 
 // evictOne removes one engine from the pool according to the policy.
@@ -244,7 +338,7 @@ func (l *Loader) evictOne(pool *accel.MemPool) error {
 	var victim *resident
 	pinnedKey := l.pinned[pool.Name]
 	for _, r := range m {
-		if r.key == pinnedKey {
+		if r.key == pinnedKey || r.refs > 0 {
 			continue
 		}
 		if victim == nil {
@@ -288,6 +382,12 @@ func (l *Loader) evictOne(pool *accel.MemPool) error {
 // loads; callers decide when idle time makes that acceptable. It returns
 // the number of engines actually loaded.
 func (l *Loader) Prefetch(pairs []zoo.Pair) (int, error) {
+	return l.PrefetchWith(pairs, nil)
+}
+
+// PrefetchWith is Prefetch with loads charged through exec (nil = the
+// platform's clock-advancing Exec), for the serving runtime's queueing path.
+func (l *Loader) PrefetchWith(pairs []zoo.Pair, exec ExecFn) (int, error) {
 	loaded := 0
 	for _, pair := range pairs {
 		proc, err := l.sys.SoC.Proc(pair.ProcID)
@@ -318,7 +418,7 @@ func (l *Loader) Prefetch(pairs []zoo.Pair) (int, error) {
 		if pool.Available() < lc.Bytes {
 			continue // prefetch never evicts
 		}
-		if _, err := l.Ensure(pair); err != nil {
+		if _, err := l.EnsureWith(pair, exec); err != nil {
 			return loaded, err
 		}
 		loaded++

@@ -1,0 +1,67 @@
+package metrics
+
+import "sort"
+
+// LatencyProfile summarizes a per-frame latency series: the tail statistics
+// the multi-stream serving experiments report alongside the averages.
+type LatencyProfile struct {
+	Mean float64
+	P50  float64
+	P95  float64
+	P99  float64
+	Max  float64
+}
+
+// Latencies reduces a latency sample series (seconds) to its profile. An
+// empty series yields the zero profile.
+func Latencies(samples []float64) LatencyProfile {
+	if len(samples) == 0 {
+		return LatencyProfile{}
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	return LatencyProfile{
+		Mean: sum / float64(len(sorted)),
+		P50:  percentileSorted(sorted, 0.50),
+		P95:  percentileSorted(sorted, 0.95),
+		P99:  percentileSorted(sorted, 0.99),
+		Max:  sorted[len(sorted)-1],
+	}
+}
+
+// Percentile returns the q-quantile (0 ≤ q ≤ 1) of samples by the
+// nearest-rank method, without mutating the input. Out-of-range q clamps;
+// an empty series yields 0.
+func Percentile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, q)
+}
+
+// percentileSorted is the nearest-rank quantile over an ascending series:
+// the smallest sample with at least q of the mass at or below it.
+func percentileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(q * float64(len(sorted)))
+	if float64(rank) < q*float64(len(sorted)) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}

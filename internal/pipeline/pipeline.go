@@ -1,13 +1,13 @@
-// Package pipeline is the continuous object-detection runtime of the SHIFT
-// reproduction: a sequential per-frame loop that binds together the dynamic
-// model loader, the simulated platform, the simulated detectors and the
-// SHIFT scheduler, and produces per-frame records that every experiment
-// aggregates.
+// Package pipeline binds the paper's SHIFT system together: the scheduler,
+// the dynamic model loader, the simulated platform and the simulated
+// detectors, expressed as a thin policy over the shared serving engine
+// (package runtime).
 //
-// The loop per frame is exactly the paper's: ensure the active model is
+// The per-frame step is exactly the paper's: ensure the active model is
 // resident (charging load costs), run inference on the chosen accelerator
 // (charging execution costs), read the detection, then pay the scheduler's
-// sub-2 ms decision overhead to select the pair for the next frame.
+// sub-2 ms decision overhead to select the pair for the next frame. The
+// engine owns that loop; SHIFT contributes only the decisions.
 package pipeline
 
 import (
@@ -16,66 +16,36 @@ import (
 	"repro/internal/accel"
 	"repro/internal/confgraph"
 	"repro/internal/detmodel"
-	"repro/internal/geom"
 	"repro/internal/loader"
 	"repro/internal/profile"
+	"repro/internal/runtime"
 	"repro/internal/scene"
 	"repro/internal/sched"
 	"repro/internal/zoo"
 )
 
-// FrameRecord captures everything one processed frame contributes to the
-// evaluation metrics.
-type FrameRecord struct {
-	// Index is the frame index within the scenario.
-	Index int
-	// Pair is the (model, processor) that ran inference on this frame.
-	Pair zoo.Pair
-	// Found, Conf, IoU and Box mirror the detection outcome.
-	Found bool
-	Conf  float64
-	IoU   float64
-	Box   geom.Rect
-	// LatSec and EnergyJ are the total charges for this frame: inference +
-	// model loading + decision overhead.
-	LatSec  float64
-	EnergyJ float64
-	// Swapped marks frames where the active pair differs from the previous
-	// frame's (Table III "Model Swaps").
-	Swapped bool
-	// LoadedModel marks frames that paid a model load.
-	LoadedModel bool
-	// Rescheduled marks frames where the scheduler took the full decision
-	// path rather than the NCC keep-gate.
-	Rescheduled bool
-	// Similarity and Gate are the scheduler diagnostics (s and s·c).
-	Similarity float64
-	Gate       float64
-}
-
-// Result is one method's run over one scenario.
-type Result struct {
-	Method   string
-	Scenario string
-	Records  []FrameRecord
-}
-
-// Runner produces a Result over a rendered scenario. SHIFT and each baseline
-// (package baseline) implement it.
-type Runner interface {
-	// Name identifies the method in report tables.
-	Name() string
-	// Run processes the frames in order and returns per-frame records.
-	Run(scenario string, frames []scene.Frame) (*Result, error)
-}
+// FrameRecord, Result and Runner are defined by the serving engine; the
+// aliases keep the historical pipeline-centric names every experiment uses.
+type (
+	// FrameRecord captures everything one processed frame contributes to
+	// the evaluation metrics.
+	FrameRecord = runtime.FrameRecord
+	// Result is one method's run over one scenario.
+	Result = runtime.Result
+	// Runner produces a Result over a rendered scenario. SHIFT and each
+	// baseline (package baseline) implement it.
+	Runner = runtime.Runner
+)
 
 // SHIFT is the full system of the paper: scheduler + dynamic model loader
-// over the simulated platform.
+// over the simulated platform, run by the shared step engine.
 type SHIFT struct {
 	sys       *zoo.System
 	scheduler *sched.Scheduler
 	dml       *loader.Loader
 	initial   zoo.Pair
+	pol       *shiftPolicy
+	eng       *runtime.Engine
 	// PrefetchOnStart optionally fills free memory with the smallest
 	// engines before the stream starts (the DML's occupy-all-memory
 	// strategy); costs are charged up front.
@@ -105,7 +75,61 @@ func DefaultOptions() Options {
 
 // NewSHIFT builds the SHIFT runtime from its three components.
 func NewSHIFT(sys *zoo.System, ch *profile.Characterization, graph *confgraph.Graph, opts Options) (*SHIFT, error) {
-	s, err := sched.New(sys, ch, graph, opts.Sched)
+	pol, err := newShiftPolicy(sys, ch, graph, opts)
+	if err != nil {
+		return nil, err
+	}
+	dml := loader.New(sys, opts.Eviction)
+	return &SHIFT{
+		sys:             sys,
+		scheduler:       pol.scheduler,
+		dml:             dml,
+		initial:         pol.initial,
+		pol:             pol,
+		eng:             runtime.NewEngine(sys, dml, pol),
+		PrefetchOnStart: opts.Prefetch,
+	}, nil
+}
+
+// NewPolicy builds the SHIFT decision logic as a runtime.Policy for the
+// multi-stream serving engine (runtime.Serve). The policy is stateful
+// (scheduler NCC history and momentum buffers), so every stream needs its
+// own instance even when streams share one platform and loader.
+func NewPolicy(sys *zoo.System, ch *profile.Characterization, graph *confgraph.Graph, opts Options) (runtime.Policy, error) {
+	pol, err := newShiftPolicy(sys, ch, graph, opts)
+	if err != nil {
+		return nil, err
+	}
+	pol.prefetch = opts.Prefetch
+	return pol, nil
+}
+
+// Name implements Runner.
+func (s *SHIFT) Name() string { return s.pol.Name() }
+
+// LoaderStats exposes the DML counters for reporting.
+func (s *SHIFT) LoaderStats() loader.Stats { return s.dml.Stats() }
+
+// Run implements Runner: the continuous detection loop of the paper, driven
+// by the shared engine.
+func (s *SHIFT) Run(scenario string, frames []scene.Frame) (*Result, error) {
+	s.pol.prefetch = s.PrefetchOnStart
+	return s.eng.Run(scenario, frames)
+}
+
+// shiftPolicy is SHIFT expressed as a runtime.Policy: per-frame it serves
+// from the current pair, then asks the scheduler (Algorithm 1) which pair
+// serves the next frame.
+type shiftPolicy struct {
+	scheduler *sched.Scheduler
+	initial   zoo.Pair
+	prefetch  bool
+	cur       zoo.Pair
+}
+
+// newShiftPolicy resolves the scheduler and the initial pair.
+func newShiftPolicy(sys *zoo.System, ch *profile.Characterization, graph *confgraph.Graph, opts Options) (*shiftPolicy, error) {
+	sc, err := sched.New(sys, ch, graph, opts.Sched)
 	if err != nil {
 		return nil, err
 	}
@@ -114,7 +138,7 @@ func NewSHIFT(sys *zoo.System, ch *profile.Characterization, graph *confgraph.Gr
 	// admissible pair instead.
 	var initial zoo.Pair
 	found := false
-	for _, p := range s.Pairs() {
+	for _, p := range sc.Pairs() {
 		if p.Model == opts.InitialModel && p.ProcID == opts.InitialProc {
 			initial = p
 			found = true
@@ -123,102 +147,64 @@ func NewSHIFT(sys *zoo.System, ch *profile.Characterization, graph *confgraph.Gr
 	}
 	if !found {
 		if opts.Sched.MaxLatencySec > 0 || opts.Sched.MaxEnergyJ > 0 {
-			initial = s.Pairs()[0]
+			initial = sc.Pairs()[0]
 		} else {
 			return nil, fmt.Errorf("pipeline: initial pair %s@%s is not a runtime pair",
 				opts.InitialModel, opts.InitialProc)
 		}
 	}
-	return &SHIFT{
-		sys:             sys,
-		scheduler:       s,
-		dml:             loader.New(sys, opts.Eviction),
-		initial:         initial,
-		PrefetchOnStart: opts.Prefetch,
-	}, nil
+	return &shiftPolicy{scheduler: sc, initial: initial}, nil
 }
 
-// Name implements Runner.
-func (s *SHIFT) Name() string { return "SHIFT" }
+// Name implements runtime.Policy.
+func (p *shiftPolicy) Name() string { return "SHIFT" }
 
-// LoaderStats exposes the DML counters for reporting.
-func (s *SHIFT) LoaderStats() loader.Stats { return s.dml.Stats() }
-
-// Run implements Runner: the continuous detection loop of the paper.
-func (s *SHIFT) Run(scenario string, frames []scene.Frame) (*Result, error) {
-	s.scheduler.Reset()
-	res := &Result{Method: s.Name(), Scenario: scenario, Records: make([]FrameRecord, 0, len(frames))}
-	cur := s.initial
-
-	if s.PrefetchOnStart {
-		if _, err := s.dml.Prefetch(s.scheduler.Pairs()); err != nil {
-			return nil, err
+// Reset implements runtime.Policy: per-stream scheduler state reset, plus
+// the optional occupy-all-memory prefetch.
+func (p *shiftPolicy) Reset(e *runtime.Engine) error {
+	p.scheduler.Reset()
+	p.cur = p.initial
+	if p.prefetch {
+		if _, err := e.Prefetch(p.scheduler.Pairs()); err != nil {
+			return err
 		}
 	}
+	return nil
+}
 
-	// The active pair changes on a few dozen frames per scenario, so its
-	// entry and execution profile are re-resolved only on swaps.
-	curEntry, err := s.sys.Entry(cur.Model)
+// Step implements runtime.Policy: the paper's per-frame sequence.
+func (p *shiftPolicy) Step(st *runtime.Step) error {
+	// 1. Residency: load the active engine if needed. Under multi-stream
+	// memory pressure the engine may keep us on the pair we already hold.
+	cur, err := st.Acquire(p.cur)
 	if err != nil {
-		return nil, err
+		return fmt.Errorf("pipeline: ensure %v: %w", p.cur, err)
 	}
-	curPerf, err := s.sys.Perf(cur.Model, cur.ProcID)
+	p.cur = cur
+	st.Rec().Pair = cur
+
+	// 2. Inference on the chosen accelerator.
+	if err := st.Exec(cur); err != nil {
+		return err
+	}
+
+	// 3. Behavioural detection.
+	det, err := st.Detect(cur.Model)
 	if err != nil {
-		return nil, err
+		return err
 	}
+	st.RecordDetection(det)
 
-	prev := cur
-	for i, frame := range frames {
-		if cur != prev {
-			if curEntry, err = s.sys.Entry(cur.Model); err != nil {
-				return nil, err
-			}
-			if curPerf, err = s.sys.Perf(cur.Model, cur.ProcID); err != nil {
-				return nil, err
-			}
-		}
-		rec := FrameRecord{Index: frame.Index, Pair: cur}
-		// A swap is recorded on the first frame the new pair serves.
-		rec.Swapped = i > 0 && cur != prev
-		prev = cur
-
-		// 1. Residency: load the active engine if needed.
-		loadCost, err := s.dml.Ensure(cur)
-		if err != nil {
-			return nil, fmt.Errorf("pipeline: ensure %v: %w", cur, err)
-		}
-		rec.LoadedModel = loadCost.Lat > 0
-		rec.LatSec += loadCost.Lat.Seconds()
-		rec.EnergyJ += loadCost.Energy
-
-		// 2. Inference on the chosen accelerator.
-		execCost, err := s.sys.SoC.Exec(cur.ProcID, curPerf.LatencySec, curPerf.PowerW)
-		if err != nil {
-			return nil, err
-		}
-		rec.LatSec += execCost.Lat.Seconds()
-		rec.EnergyJ += execCost.Energy
-
-		// 3. Behavioural detection.
-		det := curEntry.Model.Detect(frame, s.sys.Seed)
-		rec.Found, rec.Conf, rec.IoU, rec.Box = det.Found, det.Conf, det.IoU, det.Box
-
-		// 4. Scheduling decision for the next frame, charged to the CPU.
-		ovh, err := s.sys.SoC.Exec("cpu", zoo.SchedulerOverhead.LatencySec, zoo.SchedulerOverhead.PowerW)
-		if err != nil {
-			return nil, err
-		}
-		rec.LatSec += ovh.Lat.Seconds()
-		rec.EnergyJ += ovh.Energy
-
-		dec := s.scheduler.Decide(cur, det, frame)
-		rec.Rescheduled = dec.Rescheduled
-		rec.Similarity = dec.Similarity
-		rec.Gate = dec.Gate
-		cur = dec.Pair
-		res.Records = append(res.Records, rec)
+	// 4. Scheduling decision for the next frame, charged to the CPU.
+	if err := st.ExecPerf("cpu", zoo.SchedulerOverhead.LatencySec, zoo.SchedulerOverhead.PowerW); err != nil {
+		return err
 	}
-	return res, nil
+	dec := p.scheduler.Decide(cur, det, st.Frame())
+	st.Rec().Rescheduled = dec.Rescheduled
+	st.Rec().Similarity = dec.Similarity
+	st.Rec().Gate = dec.Gate
+	p.cur = dec.Pair
+	return nil
 }
 
 // NonGPUFraction returns the fraction of frames executed off the GPU —

@@ -1,0 +1,213 @@
+package runtime
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/loader"
+	"repro/internal/scene"
+	"repro/internal/zoo"
+)
+
+// StreamSpec describes one video stream served over the shared platform.
+type StreamSpec struct {
+	// Name labels the stream in results (defaults to "stream<i>").
+	Name string
+	// Frames is the stream's rendered frame sequence.
+	Frames []scene.Frame
+	// PeriodSec is the camera frame period: frame i arrives at i·period on
+	// the virtual clock. 0 means each frame arrives the moment the previous
+	// one completes (offline pacing).
+	PeriodSec float64
+	// Policy is this stream's decision logic. Policies are stateful and must
+	// not be shared between streams.
+	Policy Policy
+}
+
+// FrameTiming is the queueing-aware timing of one served frame.
+type FrameTiming struct {
+	// Arrival is when the camera produced the frame (i·period).
+	Arrival time.Duration
+	// Start is when the stream began processing it: the later of its arrival
+	// and the previous frame's completion.
+	Start time.Duration
+	// Done is when processing completed, including any time spent queued
+	// behind other streams' work on shared processors.
+	Done time.Duration
+	// Wait is the total processor queueing delay paid within the frame.
+	Wait time.Duration
+}
+
+// LatencySec returns the arrival-to-completion latency (backlog + queueing +
+// processing) — what a consumer of the detection experiences.
+func (t FrameTiming) LatencySec() float64 { return (t.Done - t.Arrival).Seconds() }
+
+// Missed reports whether the frame finished after its deadline (the next
+// frame's arrival).
+func (t FrameTiming) Missed(periodSec float64) bool {
+	return t.Done-t.Arrival > time.Duration(periodSec*float64(time.Second))
+}
+
+// StreamResult is one stream's outcome of a Serve run: the per-frame records
+// (same shape as a solo run) plus the contention-aware timings.
+type StreamResult struct {
+	Name    string
+	Result  *Result
+	Timings []FrameTiming
+}
+
+// Latencies returns the per-frame arrival-to-completion latencies in
+// seconds.
+func (r *StreamResult) Latencies() []float64 {
+	out := make([]float64, len(r.Timings))
+	for i, t := range r.Timings {
+		out[i] = t.LatencySec()
+	}
+	return out
+}
+
+// MissCount returns the number of frames that blew their deadline at the
+// given camera period.
+func (r *StreamResult) MissCount(periodSec float64) int {
+	n := 0
+	for _, t := range r.Timings {
+		if t.Missed(periodSec) {
+			n++
+		}
+	}
+	return n
+}
+
+// QueueWaitSec returns the total processor queueing delay the stream paid.
+func (r *StreamResult) QueueWaitSec() float64 {
+	var sum time.Duration
+	for _, t := range r.Timings {
+		sum += t.Wait
+	}
+	return sum.Seconds()
+}
+
+// Serve interleaves N streams over one shared platform on a deterministic
+// virtual-clock event loop. Streams share the system's processors (FIFO
+// queueing per processor, so concurrent streams pay each other's execution
+// latency), the memory pools and the loader: residency is reference-counted,
+// with streams serving the same (model, kind) sharing one resident engine.
+//
+// Determinism: the loop is a sequential discrete-event simulation — at every
+// iteration the stream with the earliest ready frame (ties broken by stream
+// index) processes that frame to completion. No goroutines are involved, so
+// results are replayable bit-for-bit regardless of the host's core count;
+// this is the degenerate form of the repo's plan-then-fan-out contract
+// (DESIGN.md §2) where the plan is the event order and the work stays
+// inline. A single-stream Serve is bit-identical to Engine.Run up to
+// queueing bookkeeping (nothing to queue behind), which the runtime tests
+// pin down.
+func Serve(sys *zoo.System, dml *loader.Loader, specs []StreamSpec) ([]*StreamResult, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("runtime: Serve needs at least one stream")
+	}
+	n := len(specs)
+	engines := make([]*Engine, n)
+	results := make([]*StreamResult, n)
+	for i, sp := range specs {
+		if sp.Policy == nil {
+			return nil, fmt.Errorf("runtime: stream %d has no policy", i)
+		}
+		if sp.PeriodSec < 0 {
+			return nil, fmt.Errorf("runtime: stream %d has negative period %v", i, sp.PeriodSec)
+		}
+		for j := 0; j < i; j++ {
+			if specs[j].Policy == sp.Policy {
+				return nil, fmt.Errorf("runtime: streams %d and %d share a policy instance", j, i)
+			}
+		}
+		eng := NewEngine(sys, dml, sp.Policy)
+		eng.served = true
+		engines[i] = eng
+		name := sp.Name
+		if name == "" {
+			name = fmt.Sprintf("stream%d", i)
+		}
+		results[i] = &StreamResult{
+			Name: name,
+			Result: &Result{
+				Method:   sp.Policy.Name(),
+				Scenario: name,
+				Records:  make([]FrameRecord, 0, len(sp.Frames)),
+			},
+			Timings: make([]FrameTiming, 0, len(sp.Frames)),
+		}
+	}
+	// Reset policies in stream order, so start-of-stream charges (prefetch)
+	// land deterministically.
+	for i, sp := range specs {
+		if err := sp.Policy.Reset(engines[i]); err != nil {
+			return nil, fmt.Errorf("runtime: reset stream %d: %w", i, err)
+		}
+	}
+
+	arrivalOf := func(i, frame int) time.Duration {
+		return time.Duration(float64(frame) * specs[i].PeriodSec * float64(time.Second))
+	}
+
+	next := make([]int, n)           // next frame index per stream
+	done := make([]time.Duration, n) // completion time of the previous frame
+	prev := make([]zoo.Pair, n)      // previous frame's pair (swap tracking)
+	for i, eng := range engines {
+		// Start-of-stream charges (prefetch loads) occupy the stream until
+		// eng.at; frame 0 cannot start before they complete, so their cost
+		// shows up as frame-0 backlog rather than silently vanishing.
+		done[i] = eng.at
+	}
+	for {
+		// Event selection: earliest ready frame wins; ties go to the lowest
+		// stream index. Ready is the later of the frame's arrival and the
+		// stream's previous completion (streams process frames in order).
+		best := -1
+		var bestReady time.Duration
+		for i := range specs {
+			if next[i] >= len(specs[i].Frames) {
+				continue
+			}
+			ready := arrivalOf(i, next[i])
+			if done[i] > ready {
+				ready = done[i]
+			}
+			if best == -1 || ready < bestReady {
+				best, bestReady = i, ready
+			}
+		}
+		if best == -1 {
+			return results, finish(engines)
+		}
+		eng := engines[best]
+		i := next[best]
+		frame := specs[best].Frames[i]
+		eng.at, eng.wait = bestReady, 0
+		st := eng.beginStep(frame, i)
+		if err := specs[best].Policy.Step(st); err != nil {
+			return nil, fmt.Errorf("runtime: %s frame %d: %w", results[best].Name, frame.Index, err)
+		}
+		st.rec.Swapped = i > 0 && st.rec.Pair != prev[best]
+		prev[best] = st.rec.Pair
+		results[best].Result.Records = append(results[best].Result.Records, st.rec)
+		results[best].Timings = append(results[best].Timings, FrameTiming{
+			Arrival: arrivalOf(best, i),
+			Start:   bestReady,
+			Done:    eng.at,
+			Wait:    eng.wait,
+		})
+		done[best] = eng.at
+		next[best]++
+	}
+}
+
+// finish releases every stream's residency hold so the pools end clean.
+func finish(engines []*Engine) error {
+	for _, eng := range engines {
+		if err := eng.releaseHeld(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

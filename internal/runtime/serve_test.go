@@ -1,0 +1,249 @@
+package runtime
+
+import (
+	gort "runtime"
+	"testing"
+	"time"
+
+	"repro/internal/accel"
+	"repro/internal/detmodel"
+	"repro/internal/loader"
+	"repro/internal/zoo"
+)
+
+// serveFixed serves n copies of a fixed-pair stream over a fresh platform.
+func serveFixed(t *testing.T, n int, frames int, periodSec float64) ([]*StreamResult, *zoo.System, *loader.Loader) {
+	t.Helper()
+	sys := zoo.Default(1)
+	dml := loader.New(sys, loader.EvictLRR)
+	specs := make([]StreamSpec, n)
+	for i := range specs {
+		specs[i] = StreamSpec{
+			Frames:    testFrames(t)[:frames],
+			PeriodSec: periodSec,
+			Policy:    &fixedPolicy{pair: testPair(t, sys, detmodel.YoloV7, "gpu")},
+		}
+	}
+	res, err := Serve(sys, dml, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, sys, dml
+}
+
+// TestServeSingleStreamMatchesRun pins the serving engine's compatibility
+// core: one stream through the queueing event loop produces records
+// bit-identical to the solo loop (nothing to queue behind, so the same
+// jitter draws land in the same charges).
+func TestServeSingleStreamMatchesRun(t *testing.T) {
+	frames := testFrames(t)[:120]
+	solo := func() *Result {
+		sys := zoo.Default(1)
+		eng := soloEngine(sys, &fixedPolicy{pair: testPair(t, sys, detmodel.YoloV7, "gpu")})
+		res, err := eng.Run("s", frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}()
+	served, _, _ := serveFixed(t, 1, 120, 0.1)
+	if len(served[0].Result.Records) != len(solo.Records) {
+		t.Fatalf("served %d records, solo %d", len(served[0].Result.Records), len(solo.Records))
+	}
+	for i := range solo.Records {
+		if served[0].Result.Records[i] != solo.Records[i] {
+			t.Fatalf("record %d differs:\nserved %+v\nsolo   %+v",
+				i, served[0].Result.Records[i], solo.Records[i])
+		}
+	}
+	// A lone stream never queues.
+	if w := served[0].QueueWaitSec(); w != 0 {
+		t.Fatalf("single stream paid %.6fs of queueing", w)
+	}
+}
+
+// TestServeContention: two streams on one GPU must pay each other's
+// execution latency as queueing delay, visible in waits and in non-
+// overlapping FIFO spans on the processor trace.
+func TestServeContention(t *testing.T) {
+	sys := zoo.Default(1)
+	trace := sys.SoC.AttachTrace()
+	dml := loader.New(sys, loader.EvictLRR)
+	specs := make([]StreamSpec, 2)
+	for i := range specs {
+		specs[i] = StreamSpec{
+			Frames:    testFrames(t)[:60],
+			PeriodSec: 0.1, // YoloV7@gpu needs ~0.13 s: one stream already overruns; two must queue
+			Policy:    &fixedPolicy{pair: testPair(t, sys, detmodel.YoloV7, "gpu")},
+		}
+	}
+	res, err := Serve(sys, dml, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalWait := res[0].QueueWaitSec() + res[1].QueueWaitSec()
+	if totalWait <= 0 {
+		t.Fatal("two streams sharing a GPU paid no queueing delay")
+	}
+	for _, sr := range res {
+		for i, tm := range sr.Timings {
+			if tm.Done < tm.Start || tm.Start < tm.Arrival {
+				t.Fatalf("%s frame %d has inverted timing %+v", sr.Name, i, tm)
+			}
+			if i > 0 && tm.Done < sr.Timings[i-1].Done {
+				t.Fatalf("%s frame %d completed before its predecessor", sr.Name, i)
+			}
+		}
+	}
+	// FIFO per processor: spans on the same proc never overlap.
+	lastEnd := map[string]time.Duration{}
+	for _, s := range trace.Samples {
+		if s.Start < lastEnd[s.Proc] {
+			t.Fatalf("overlapping executions on %s: start %v before previous end %v",
+				s.Proc, s.Start, lastEnd[s.Proc])
+		}
+		lastEnd[s.Proc] = s.Start + s.Dur
+	}
+	// Both streams run the same (model, kind): one shared engine, one load.
+	if loads := dml.Stats().Loads; loads != 1 {
+		t.Fatalf("shared engine loaded %d times, want 1", loads)
+	}
+}
+
+// TestServeDeterministicAcrossWorkerCounts pins the determinism contract:
+// the event loop is sequential, so results cannot depend on GOMAXPROCS.
+func TestServeDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func() []*StreamResult {
+		res, _, _ := serveFixed(t, 3, 80, 0.05)
+		return res
+	}
+	prev := gort.GOMAXPROCS(1)
+	a := run()
+	gort.GOMAXPROCS(8)
+	b := run()
+	gort.GOMAXPROCS(prev)
+	for si := range a {
+		if len(a[si].Result.Records) != len(b[si].Result.Records) {
+			t.Fatalf("stream %d record counts differ", si)
+		}
+		for i := range a[si].Result.Records {
+			if a[si].Result.Records[i] != b[si].Result.Records[i] {
+				t.Fatalf("stream %d record %d differs across worker counts", si, i)
+			}
+			if a[si].Timings[i] != b[si].Timings[i] {
+				t.Fatalf("stream %d timing %d differs across worker counts", si, i)
+			}
+		}
+	}
+}
+
+// TestServeMemoryArbitration: a stream that tries to swap onto an engine
+// that can only fit by evicting another stream's held engine is refused and
+// keeps serving from the engine it already holds; the other stream is
+// undisturbed.
+func TestServeMemoryArbitration(t *testing.T) {
+	sys := zoo.Default(1)
+	// 1600 MB: E6E (1100) + Resnet50 (400) fit; X (800) cannot join without
+	// evicting a held engine.
+	sys.SoC.Pools[accel.SoCPoolName] = accel.NewMemPool(accel.SoCPoolName, 1600*accel.MB)
+	dml := loader.New(sys, loader.EvictLRR)
+	e6e := testPair(t, sys, detmodel.YoloV7E6E, "gpu")
+	r50 := testPair(t, sys, detmodel.SSDResnet50, "gpu")
+	x := testPair(t, sys, detmodel.YoloV7X, "gpu")
+	specs := []StreamSpec{
+		{Frames: testFrames(t)[:40], PeriodSec: 0.1, Policy: &fixedPolicy{pair: e6e}},
+		{Frames: testFrames(t)[:40], PeriodSec: 0.1, Policy: &swapAtPolicy{pairA: r50, pairB: x, swapFrame: 20}},
+	}
+	res, err := Serve(sys, dml, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream 0 stayed on its engine throughout.
+	for i, rec := range res[0].Result.Records {
+		if rec.Pair != e6e {
+			t.Fatalf("stream 0 frame %d lost its engine: %v", i, rec.Pair)
+		}
+	}
+	// Stream 1's swap to X was refused: it kept serving Resnet50.
+	for i, rec := range res[1].Result.Records {
+		if rec.Pair != r50 {
+			t.Fatalf("stream 1 frame %d on %v, want the held %v", i, rec.Pair, r50)
+		}
+	}
+	if dml.Stats().Evictions != 0 {
+		t.Fatalf("arbitration evicted %d held engines", dml.Stats().Evictions)
+	}
+	// After the serve, all stream holds are released.
+	if dml.Refs(e6e) != 0 || dml.Refs(r50) != 0 {
+		t.Fatal("stream references leaked past Serve")
+	}
+}
+
+// prefetchPolicy is fixedPolicy plus an occupy-memory prefetch at Reset.
+type prefetchPolicy struct {
+	fixedPolicy
+	prefetch []zoo.Pair
+}
+
+func (p *prefetchPolicy) Reset(e *Engine) error {
+	_, err := e.Prefetch(p.prefetch)
+	return err
+}
+
+// TestServePrefetchDelaysFrameZero pins that start-of-stream charges are not
+// lost: prefetch loads issued in Policy.Reset occupy the stream, so frame 0
+// starts only after they complete and their cost appears as backlog.
+func TestServePrefetchDelaysFrameZero(t *testing.T) {
+	sys := zoo.Default(1)
+	dml := loader.New(sys, loader.EvictLRR)
+	pair := testPair(t, sys, detmodel.YoloV7, "gpu")
+	pol := &prefetchPolicy{
+		fixedPolicy: fixedPolicy{pair: pair},
+		prefetch:    []zoo.Pair{pair, testPair(t, sys, detmodel.YoloV7Tiny, "gpu")},
+	}
+	res, err := Serve(sys, dml, []StreamSpec{
+		{Frames: testFrames(t)[:5], PeriodSec: 0.1, Policy: pol},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dml.Stats().Loads != 2 {
+		t.Fatalf("prefetch loaded %d engines, want 2", dml.Stats().Loads)
+	}
+	// YoloV7's load alone is ~1.5 s: frame 0 must start well after arrival.
+	first := res[0].Timings[0]
+	if first.Start <= first.Arrival {
+		t.Fatalf("frame 0 started at %v despite prefetch charges", first.Start)
+	}
+	if first.Start < time.Second {
+		t.Fatalf("frame 0 start %v does not cover the prefetch loads", first.Start)
+	}
+	// The prefetched engine is resident: frame 0 pays no demand load.
+	if res[0].Result.Records[0].LoadedModel {
+		t.Fatal("frame 0 re-loaded a prefetched engine")
+	}
+}
+
+// TestServeValidation covers the argument contract.
+func TestServeValidation(t *testing.T) {
+	sys := zoo.Default(1)
+	dml := loader.New(sys, loader.EvictLRR)
+	if _, err := Serve(sys, dml, nil); err == nil {
+		t.Fatal("empty stream list should fail")
+	}
+	pol := &fixedPolicy{pair: testPair(t, sys, detmodel.YoloV7, "gpu")}
+	if _, err := Serve(sys, dml, []StreamSpec{{Frames: testFrames(t)[:2], Policy: nil}}); err == nil {
+		t.Fatal("nil policy should fail")
+	}
+	if _, err := Serve(sys, dml, []StreamSpec{
+		{Frames: testFrames(t)[:2], Policy: pol},
+		{Frames: testFrames(t)[:2], Policy: pol},
+	}); err == nil {
+		t.Fatal("shared policy instance should fail")
+	}
+	if _, err := Serve(sys, dml, []StreamSpec{
+		{Frames: testFrames(t)[:2], PeriodSec: -1, Policy: pol},
+	}); err == nil {
+		t.Fatal("negative period should fail")
+	}
+}

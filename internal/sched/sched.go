@@ -250,7 +250,11 @@ func (s *Scheduler) internModel(model string) int {
 	return idx
 }
 
-// Reset clears NCC history and momentum buffers (new video stream).
+// Reset clears every per-stream decision state — NCC history, momentum
+// buffers and the crop double-buffer phase — so a reset scheduler is
+// indistinguishable from a freshly constructed one. The serving runtime
+// relies on this boundary: each stream owns a scheduler, reset at stream
+// start (TestResetMatchesFreshScheduler pins the equivalence).
 func (s *Scheduler) Reset() {
 	for i := range s.bufs {
 		s.bufs[i] = nil
@@ -262,6 +266,10 @@ func (s *Scheduler) Reset() {
 	s.lastBox = nil
 	s.lastImgSum, s.lastImgSumSq = 0, 0
 	s.lastBoxSum, s.lastBoxSumSq = 0, 0
+	// The box-crop buffers are fully rewritten per use; resetting the flip
+	// only realigns which buffer serves first, keeping the reset scheduler's
+	// internal state (not just its outputs) identical to a fresh one.
+	s.boxFlip = 0
 }
 
 // boxCrop extracts and normalizes the bounding-box region of frame. Output

@@ -368,3 +368,39 @@ func BenchmarkDecide(b *testing.B) {
 		cur = dec.Pair
 	}
 }
+
+// TestResetMatchesFreshScheduler pins the per-stream reset boundary the
+// serving runtime depends on: driving a scheduler through a stream, calling
+// Reset, and replaying the stream must reproduce a fresh scheduler's
+// decision sequence bit for bit.
+func TestResetMatchesFreshScheduler(t *testing.T) {
+	f := fx(t)
+	frames := scene.Scenario2().Render(1)[:120]
+	entry, err := f.sys.Entry(detmodel.YoloV7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive := func(s *Scheduler) []Decision {
+		cur := pairFor(t, s, detmodel.YoloV7, accel.KindGPU)
+		out := make([]Decision, 0, len(frames))
+		for _, frame := range frames {
+			det := entry.Model.Detect(frame, f.sys.Seed)
+			dec := s.Decide(cur, det, frame)
+			cur = dec.Pair
+			out = append(out, dec)
+		}
+		return out
+	}
+	fresh := drive(newSched(t, DefaultConfig()))
+	reused := newSched(t, DefaultConfig())
+	drive(reused) // dirty every per-stream buffer
+	reused.Reset()
+	replayed := drive(reused)
+	for i := range fresh {
+		a, b := fresh[i], replayed[i]
+		if a.Pair != b.Pair || a.Rescheduled != b.Rescheduled ||
+			a.Similarity != b.Similarity || a.Gate != b.Gate || a.MetThreshold != b.MetThreshold {
+			t.Fatalf("decision %d differs after Reset:\nfresh  %+v\nreplay %+v", i, a, b)
+		}
+	}
+}
