@@ -356,6 +356,27 @@ func BenchmarkMultiStream(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetSweep runs the multi-device serving grid (device count ×
+// placement policy under the default tiered workload) and logs the fleet
+// headline: residency-affinity vs round-robin tail latency and loader
+// traffic at the largest fleet.
+func BenchmarkFleetSweep(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.FleetSweep(e, experiments.FleetSweepConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			rr, _ := res.Row(4, "round-robin")
+			aff, _ := res.Row(4, "residency-affinity")
+			b.Logf("fleet @4 devices: round-robin p99=%.3fs loads=%d | residency-affinity p99=%.3fs loads=%d miss=%.1f%% util=%.0f%%",
+				rr.Latency.P99, rr.Loads, aff.Latency.P99, aff.Loads,
+				aff.DeadlineMissRate*100, aff.AvgUtilization*100)
+		}
+	}
+}
+
 // BenchmarkSHIFTFrame measures the per-frame cost of the full SHIFT loop
 // (load + exec + detect + decide) on the harness itself.
 func BenchmarkSHIFTFrame(b *testing.B) {

@@ -183,6 +183,18 @@ func main() {
 		}
 	})
 
+	// FleetSweep: the multi-device serving grid (device count × placement
+	// under the tiered workload).
+	fsCfg := experiments.FleetSweepConfig{}
+	run("FleetSweep", "grid", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.FleetSweep(env, fsCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
 	// NCC / NCCSearch micro-benchmarks on tracker-scale inputs.
 	r := rng.New(1)
 	imgA := randomImage(r, 72, 72)
@@ -237,6 +249,30 @@ func main() {
 		doc.Headline[prefix+"_miss_rate"] = row.DeadlineMissRate
 		doc.Headline[prefix+"_queue_wait_s"] = row.AvgQueueWaitSec
 		doc.Headline[prefix+"_swaps_per_stream"] = row.SwapsPerStream
+	}
+
+	// Fleet serving headline: the multi-device grid's simulated metrics at
+	// the largest fleet, round-robin vs residency-affinity. Deterministic
+	// per seed, like the other headline blocks.
+	fs, err := experiments.FleetSweep(env, fsCfg)
+	if err != nil {
+		fatal(err)
+	}
+	for _, cell := range []struct {
+		placement, prefix string
+	}{
+		{"round-robin", "fleet4_rr"},
+		{"residency-affinity", "fleet4_affinity"},
+	} {
+		row, ok := fs.Row(4, cell.placement)
+		if !ok {
+			fatal(fmt.Errorf("missing fleet row for 4×%s", cell.placement))
+		}
+		doc.Headline[cell.prefix+"_p99_latency_s"] = row.Latency.P99
+		doc.Headline[cell.prefix+"_miss_rate"] = row.DeadlineMissRate
+		doc.Headline[cell.prefix+"_loads"] = float64(row.Loads)
+		doc.Headline[cell.prefix+"_evictions"] = float64(row.Evictions)
+		doc.Headline[cell.prefix+"_utilization"] = row.AvgUtilization
 	}
 
 	if baseDoc != nil {

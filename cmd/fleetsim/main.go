@@ -1,0 +1,104 @@
+// Command fleetsim serves a seeded open-loop workload of SHIFT streams on a
+// simulated multi-device fleet: K heterogeneous Xavier-NX-class devices
+// behind a dispatcher with admission control and a pluggable placement
+// policy. It prints the per-device serving table and utilization plot for
+// one run, or the full device-count × placement grid with -sweep.
+//
+// Usage:
+//
+//	fleetsim -devices 4 -placement residency-affinity
+//	fleetsim -devices 2 -streams 24 -rate 0.5 -budget 2
+//	fleetsim -sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/fleet"
+)
+
+func main() {
+	var (
+		devices   = flag.Int("devices", 2, "number of devices in the fleet")
+		scales    = flag.String("scales", "1,1.25", "comma-separated per-device latency scales, cycled")
+		placement = flag.String("placement", "residency-affinity", "placement: round-robin, least-outstanding, residency-affinity")
+		streams   = flag.Int("streams", 16, "streams offered")
+		rate      = flag.Float64("rate", 0.25, "mean stream arrival rate per second")
+		period    = flag.Float64("period", 0.1, "camera frame period in seconds")
+		budget    = flag.Int("budget", 3, "admission budget: max concurrent streams per device (0 = unlimited)")
+		queue     = flag.Int("queue", 8, "admission queue slots when saturated (0 = reject immediately, -1 = unbounded)")
+		poolMB    = flag.Int64("pool-mb", 1300, "per-device engine memory arena in MB")
+		seed      = flag.Uint64("seed", 1, "experiment seed")
+		valFrames = flag.Int("val-frames", experiments.DefaultValidationFrames, "validation frames for characterization")
+		sweep     = flag.Bool("sweep", false, "run the full device-count × placement grid (experiments.FleetSweep)")
+	)
+	flag.Parse()
+
+	if err := run(*devices, *scales, *placement, *streams, *rate, *period,
+		*budget, *queue, *poolMB, *seed, *valFrames, *sweep); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(devices int, scales, placement string, streams int, rate, period float64,
+	budget, queue int, poolMB int64, seed uint64, valFrames int, sweep bool) error {
+	fmt.Printf("characterizing %d-frame validation set (seed %d)...\n", valFrames, seed)
+	env, err := experiments.NewEnv(seed, valFrames)
+	if err != nil {
+		return err
+	}
+
+	workload := fleet.DefaultWorkloadConfig()
+	workload.Seed = seed
+	workload.Streams = streams
+	workload.RatePerSec = rate
+	workload.PeriodSec = period
+	cfg := experiments.FleetSweepConfig{
+		Workload:  workload,
+		Admission: &fleet.Admission{PerDeviceStreams: budget, QueueLimit: queue},
+		PoolMB:    poolMB,
+	}
+	scaleList, err := parseScales(scales)
+	if err != nil {
+		return err
+	}
+	cfg.Scales = scaleList
+
+	if !sweep {
+		cfg.DeviceCounts = []int{devices}
+		cfg.Placements = []string{placement}
+	}
+	res, err := experiments.FleetSweep(env, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Println(res.Report())
+	return nil
+}
+
+// parseScales parses "1,1.25" into scale factors.
+func parseScales(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("invalid scale %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no scales given")
+	}
+	return out, nil
+}

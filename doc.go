@@ -17,15 +17,25 @@
 //   - internal/runtime: the shared serving engine — one step loop behind a
 //     Policy interface that SHIFT and every baseline run on, plus the
 //     deterministic multi-stream event loop (runtime.Serve) with FIFO
-//     processor queueing and reference-counted engine residency.
+//     processor queueing and reference-counted engine residency, factored
+//     into steppable per-stream Sessions.
+//   - internal/fleet: the multi-device serving layer — K heterogeneous
+//     devices behind a dispatcher with pluggable placement policies
+//     (round-robin, least-outstanding, residency-affinity), admission
+//     control with a bounded wait queue, and a seeded open-loop workload
+//     generator; one global deterministic event loop interleaves arrivals,
+//     frame steps and departures across devices.
 //   - internal/scene, internal/detmodel, internal/accel, internal/zoo:
 //     the simulated substrates (videos, models, hardware, binding).
 //   - internal/baseline: Marlin, single-model, frame-skip and Oracle
 //     comparison methods, all thin policies over the engine.
 //   - internal/experiments: one runner per paper table/figure, plus the
-//     multi-stream contention sweep (experiments.MultiStream).
-//   - cmd/: shiftsim, characterize, sweep, figures, bench, render, report.
-//   - examples/: quickstart, dronechase, energybudget, customzoo, livefeed.
+//     multi-stream contention sweep (experiments.MultiStream) and the
+//     multi-device fleet grid (experiments.FleetSweep).
+//   - cmd/: shiftsim, characterize, sweep, figures, bench, render, report,
+//     fleetsim.
+//   - examples/: quickstart, dronechase, energybudget, customzoo, livefeed,
+//     edgefarm.
 //
 // Top-level benchmarks in bench_test.go regenerate every table and figure;
 // see DESIGN.md for the experiment index and EXPERIMENTS.md for measured

@@ -101,7 +101,7 @@ func main() {
 	for _, sr := range streams {
 		sum := metrics.Summarize(sr.Result)
 		lat := metrics.Latencies(sr.Latencies())
-		miss := float64(sr.MissCount(1/fps)) / float64(len(sr.Timings))
+		miss := float64(sr.MissCount()) / float64(len(sr.Timings))
 		fmt.Printf("%-12s %8d %10.3f %12.3f %11.1f%% %12.3f %12d\n",
 			sr.Name, len(sr.Result.Records), sum.AvgIoU, lat.P99, miss*100,
 			sr.QueueWaitSec(), pipeline.SwapCount(sr.Result))

@@ -198,6 +198,13 @@ type SoC struct {
 	// every execution.
 	LatJitter   float64
 	PowerJitter float64
+	// TimeScale multiplies every execution latency before jitter: 1 is the
+	// characterized Xavier-NX-class baseline, 2 a half-speed device, 0.5 a
+	// double-speed one. The fleet layer uses it to model heterogeneous
+	// device capacities from one set of zoo anchors; at the default 1.0 the
+	// multiplication is exact and results are bit-identical to a platform
+	// without scaling.
+	TimeScale float64
 
 	r     *rng.Stream
 	trace *Trace
@@ -216,6 +223,7 @@ func NewSoC(procs []*Proc, pools []*MemPool, r *rng.Stream) *SoC {
 		Meter:       NewMeter(),
 		LatJitter:   0.04,
 		PowerJitter: 0.03,
+		TimeScale:   1,
 		r:           r,
 		busy:        make(map[string]time.Duration, len(procs)),
 	}
@@ -260,7 +268,7 @@ func (s *SoC) Exec(procID string, latMean, powerMean float64) (Cost, error) {
 	if latMean < 0 || powerMean < 0 {
 		return Cost{}, fmt.Errorf("accel: negative workload parameters (%v s, %v W)", latMean, powerMean)
 	}
-	lat := s.r.Jitter(latMean, s.LatJitter)
+	lat := s.r.Jitter(latMean*s.TimeScale, s.LatJitter)
 	pow := s.r.Jitter(powerMean, s.PowerJitter)
 	d := time.Duration(lat * float64(time.Second))
 	start := s.Clock.Now()
@@ -307,7 +315,7 @@ func (s *SoC) ExecFrom(procID string, ready time.Duration, latMean, powerMean fl
 	if ready < 0 {
 		return Span{}, fmt.Errorf("accel: negative ready time %v", ready)
 	}
-	lat := s.r.Jitter(latMean, s.LatJitter)
+	lat := s.r.Jitter(latMean*s.TimeScale, s.LatJitter)
 	pow := s.r.Jitter(powerMean, s.PowerJitter)
 	d := time.Duration(lat * float64(time.Second))
 	start := ready

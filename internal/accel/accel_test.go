@@ -236,6 +236,43 @@ func TestPoolCapacityForcesEviction(t *testing.T) {
 	}
 }
 
+// TestTimeScale pins the heterogeneous-capacity contract: TimeScale
+// multiplies execution latency before jitter (same draw count, proportional
+// durations), and the default 1.0 is bit-identical to an unscaled platform.
+func TestTimeScale(t *testing.T) {
+	base := testSoC()
+	slow := testSoC() // same seed: identical jitter draws
+	slow.TimeScale = 2
+	for i := 0; i < 50; i++ {
+		cb, err := base.Exec("gpu", 0.1, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, err := slow.Exec("gpu", 0.1, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Identical draws, doubled mean: exactly 2x the float latency. The
+		// Duration truncation may differ by a nanosecond, so compare loosely.
+		ratio := float64(cs.Lat) / float64(cb.Lat)
+		if ratio < 1.999 || ratio > 2.001 {
+			t.Fatalf("exec %d: scaled latency ratio %v, want 2", i, ratio)
+		}
+	}
+	// ExecFrom honors the scale too.
+	sb, _ := base.ExecFrom("dla0", 0, 0.1, 5)
+	ss, _ := slow.ExecFrom("dla0", 0, 0.1, 5)
+	if r := float64(ss.Cost.Lat) / float64(sb.Cost.Lat); r < 1.999 || r > 2.001 {
+		t.Fatalf("ExecFrom scaled ratio %v, want 2", r)
+	}
+	// The constructor default is exactly 1, so unscaled platforms stay
+	// bit-identical (multiplication by 1.0 is exact); the golden tests pin
+	// the actual values.
+	if def := testSoC(); def.TimeScale != 1 {
+		t.Fatalf("default TimeScale %v, want 1", def.TimeScale)
+	}
+}
+
 func BenchmarkExec(b *testing.B) {
 	s := testSoC()
 	b.ReportAllocs()

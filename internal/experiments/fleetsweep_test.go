@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestFleetSweepDefaultGrid runs the standard grid once and pins the
+// experiment's load-bearing claims: every cell serves the full workload,
+// placement is irrelevant on a single device, and the residency-affinity
+// placement beats round-robin on tail latency or loader traffic once the
+// fleet has ≥ 2 devices (the PR's acceptance criterion).
+func TestFleetSweepDefaultGrid(t *testing.T) {
+	env, err := Shared()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := FleetSweep(env, FleetSweepConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 9 {
+		t.Fatalf("%d rows, want 9 (3 sizes × 3 placements)", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Offered != res.Workload.Streams {
+			t.Fatalf("%d×%s offered %d, want %d", row.Devices, row.Placement, row.Offered, res.Workload.Streams)
+		}
+		if row.Served+row.Rejected != row.Offered {
+			t.Fatalf("%d×%s served %d + rejected %d != offered %d",
+				row.Devices, row.Placement, row.Served, row.Rejected, row.Offered)
+		}
+		if row.Served > 0 && (row.AvgIoU <= 0 || row.Latency.P99 <= 0) {
+			t.Fatalf("%d×%s has degenerate metrics: %+v", row.Devices, row.Placement, row.Summary)
+		}
+		if len(row.PerDevice) != row.Devices {
+			t.Fatalf("%d×%s carries %d device stats", row.Devices, row.Placement, len(row.PerDevice))
+		}
+	}
+
+	// One device: placement cannot matter — all three rows identical.
+	rr1, _ := res.Row(1, "round-robin")
+	for _, p := range []string{"least-outstanding", "residency-affinity"} {
+		row, ok := res.Row(1, p)
+		if !ok {
+			t.Fatalf("missing 1×%s row", p)
+		}
+		if row.Summary != rr1.Summary {
+			t.Fatalf("1-device %s differs from round-robin:\n%+v\n%+v", p, row.Summary, rr1.Summary)
+		}
+	}
+
+	// ≥ 2 devices: residency-affinity beats round-robin on p99 latency or
+	// loads; at 4 devices the gap is structural (grouped tiers avoid the
+	// memory-tight eviction churn), so pin the strict win there.
+	for _, k := range []int{2, 4} {
+		rr, okRR := res.Row(k, "round-robin")
+		aff, okAff := res.Row(k, "residency-affinity")
+		if !okRR || !okAff {
+			t.Fatalf("missing %d-device rows", k)
+		}
+		if !(aff.Latency.P99 < rr.Latency.P99 || aff.Loads < rr.Loads) {
+			t.Fatalf("%d devices: affinity (p99 %.3f, loads %d) does not beat round-robin (p99 %.3f, loads %d)",
+				k, aff.Latency.P99, aff.Loads, rr.Latency.P99, rr.Loads)
+		}
+	}
+	aff4, _ := res.Row(4, "residency-affinity")
+	rr4, _ := res.Row(4, "round-robin")
+	if aff4.Latency.P99 >= rr4.Latency.P99 || aff4.Loads >= rr4.Loads {
+		t.Fatalf("4 devices: affinity (p99 %.3f, loads %d) should strictly beat round-robin (p99 %.3f, loads %d)",
+			aff4.Latency.P99, aff4.Loads, rr4.Latency.P99, rr4.Loads)
+	}
+
+	// Scaling out helps: the 4-device affinity fleet's miss rate is well
+	// under the single device's.
+	if aff4.DeadlineMissRate >= rr1.DeadlineMissRate {
+		t.Fatalf("4-device miss rate %.3f not below 1-device %.3f",
+			aff4.DeadlineMissRate, rr1.DeadlineMissRate)
+	}
+
+	if report := res.Report(); len(report) == 0 {
+		t.Fatal("empty report")
+	}
+}
+
+// TestFleetSweepValidation covers the config contract.
+func TestFleetSweepValidation(t *testing.T) {
+	env, err := Shared()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FleetSweep(env, FleetSweepConfig{DeviceCounts: []int{0}}); err == nil {
+		t.Fatal("zero device count should fail")
+	}
+	if _, err := FleetSweep(env, FleetSweepConfig{Placements: []string{"nope"}}); err == nil {
+		t.Fatal("unknown placement should fail")
+	}
+}

@@ -123,13 +123,13 @@ func MultiStream(env *Env, cfg MultiStreamConfig) (*MultiStreamResult, error) {
 			return nil, fmt.Errorf("experiments: serve %d streams: %w", n, err)
 		}
 		res.PerStream[n] = streams
-		res.Rows = append(res.Rows, summarizeServe(n, streams, dml.Stats(), cfg.PeriodSec))
+		res.Rows = append(res.Rows, summarizeServe(n, streams, dml.Stats()))
 	}
 	return res, nil
 }
 
 // summarizeServe reduces one concurrency level's serve results to a row.
-func summarizeServe(n int, streams []*runtime.StreamResult, ls loader.Stats, periodSec float64) MultiStreamRow {
+func summarizeServe(n int, streams []*runtime.StreamResult, ls loader.Stats) MultiStreamRow {
 	row := MultiStreamRow{Streams: n, Loads: ls.Loads, Evictions: ls.Evictions}
 	var lats []float64
 	var waitSum, iouSum, energySum float64
@@ -137,7 +137,7 @@ func summarizeServe(n int, streams []*runtime.StreamResult, ls loader.Stats, per
 	for _, s := range streams {
 		lats = append(lats, s.Latencies()...)
 		waitSum += s.QueueWaitSec()
-		missed += s.MissCount(periodSec)
+		missed += s.MissCount()
 		swaps += pipeline.SwapCount(s.Result)
 		for _, rec := range s.Result.Records {
 			iouSum += rec.IoU

@@ -1,0 +1,547 @@
+// Package fleet is the multi-device serving layer of the reproduction: K
+// virtual Xavier-NX-class devices (each a zoo.System + loader.Loader pair,
+// with heterogeneous capacities via per-device accel time scales), a
+// dispatcher with pluggable placement policies, and an admission gate that
+// rejects or queues streams past a per-device concurrency budget.
+//
+// Where the paper schedules within one diversely heterogeneous device
+// (which model, which accelerator, per frame), the fleet schedules across
+// devices: which device serves a newly arriving stream, given model
+// residency, queue depth and heterogeneous speed. The simulation reuses the
+// deterministic discrete-event idiom of runtime.Serve — one global event
+// loop interleaving stream arrivals, per-frame steps and departures in
+// virtual-time order — so a fleet run is bit-replayable regardless of host
+// core count, and a single-device fleet with one statically admitted stream
+// reproduces runtime.Serve (and therefore the solo engine) bit-for-bit.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/loader"
+	"repro/internal/rng"
+	"repro/internal/runtime"
+	"repro/internal/scene"
+	"repro/internal/zoo"
+)
+
+// PolicyFactory builds one stream's per-frame decision logic against the
+// device the stream lands on. Policies are stateful, so the dispatcher calls
+// the factory once per admitted stream.
+type PolicyFactory func(sys *zoo.System) (runtime.Policy, error)
+
+// StreamRequest is one stream offered to the fleet.
+type StreamRequest struct {
+	// Name labels the stream in outcomes.
+	Name string
+	// Scenario is the content key the residency-affinity placement learns
+	// engine usage under (streams of one scenario tend to exercise the same
+	// (model, kind) engines).
+	Scenario string
+	// Arrival is when the stream asks to be served, on the global virtual
+	// clock.
+	Arrival time.Duration
+	// Frames is the finite rendered frame sequence.
+	Frames []scene.Frame
+	// PeriodSec is the camera frame period (as in runtime.StreamSpec).
+	PeriodSec float64
+	// Policy builds the stream's decision logic on its serving device.
+	Policy PolicyFactory
+}
+
+// DeviceConfig describes one device of the fleet.
+type DeviceConfig struct {
+	// Name identifies the device; placement tie-breaks and seed derivation
+	// key on it, so fleets with the same names behave identically however
+	// the slice is ordered.
+	Name string
+	// Scale multiplies every execution latency on the device (accel
+	// TimeScale): 1 is the characterized baseline, 2 a half-speed device.
+	// 0 defaults to 1.
+	Scale float64
+	// Seed overrides the device's derived RNG seed when non-zero; the
+	// default is DeriveSeed(fleet seed, name).
+	Seed uint64
+}
+
+// Device is one serving platform of the fleet.
+type Device struct {
+	Name  string
+	Scale float64
+	Sys   *zoo.System
+	DML   *loader.Loader
+
+	sessions []*activeSession
+	served   int
+	frames   int
+	horizon  time.Duration
+}
+
+// ActiveStreams returns the number of streams currently admitted to the
+// device.
+func (d *Device) ActiveStreams() int { return len(d.sessions) }
+
+// OutstandingFrames returns the total frames not yet served across the
+// device's active streams — the dispatcher's queue-depth signal.
+func (d *Device) OutstandingFrames() int {
+	n := 0
+	for _, as := range d.sessions {
+		n += as.sess.Remaining()
+	}
+	return n
+}
+
+// Horizon returns the completion time of the device's latest queued work.
+func (d *Device) Horizon() time.Duration {
+	h := d.horizon
+	for _, as := range d.sessions {
+		if t := as.sess.Horizon(); t > h {
+			h = t
+		}
+	}
+	return h
+}
+
+// activeSession is one admitted stream being served on a device.
+type activeSession struct {
+	sess *runtime.Session
+	dev  *Device
+	out  *StreamOutcome
+	seq  int // admission order, the within-device event tie-break
+}
+
+// Admission is the fleet's concurrency gate.
+type Admission struct {
+	// PerDeviceStreams caps concurrently served streams per device
+	// (<= 0: unlimited). PR 2 located the single-device capacity cliff at 4
+	// concurrent SHIFT streams, so production budgets sit below it.
+	PerDeviceStreams int
+	// QueueLimit bounds the fleet-wide waiting room used when every device
+	// is at budget: 0 rejects immediately, negative queues without bound.
+	QueueLimit int
+}
+
+// DefaultAdmission keeps devices under the PR 2 capacity cliff and queues a
+// handful of streams rather than rejecting outright.
+func DefaultAdmission() Admission {
+	return Admission{PerDeviceStreams: 3, QueueLimit: 8}
+}
+
+// Config assembles a fleet.
+type Config struct {
+	// Seed drives device seed derivation (per-device jitter streams).
+	Seed uint64
+	// Devices lists the fleet members. Order does not matter: devices are
+	// sorted by name, and every decision keys on names, so results are
+	// identical for any listing order.
+	Devices []DeviceConfig
+	// Placement chooses the serving device for each admitted stream
+	// (default round-robin).
+	Placement Placement
+	// Admission gates stream concurrency (zero value: unlimited, no queue).
+	Admission Admission
+	// NewSystem builds one device's platform + zoo from its seed (default
+	// zoo.Default).
+	NewSystem func(seed uint64) *zoo.System
+	// Eviction is each device loader's eviction policy (default LRR).
+	Eviction loader.EvictionPolicy
+}
+
+// DeriveSeed returns the deterministic per-device seed used when a
+// DeviceConfig does not pin one: a function of the fleet seed and the device
+// name only, so device listing order cannot perturb any jitter stream.
+func DeriveSeed(seed uint64, name string) uint64 {
+	return rng.New(seed).Fork("device/" + name).Uint64()
+}
+
+// Fleet owns K devices and dispatches streams across them.
+type Fleet struct {
+	devices []*Device // sorted by name
+	place   Placement
+	adm     Admission
+
+	// affinity is the dispatcher's learned residency model: for each
+	// scenario, the (model, kind) engines streams of that scenario ended up
+	// serving from, keyed by "model/kind" with a representative pair as
+	// value. Completed streams teach it; the residency-affinity placement
+	// reads it.
+	affinity map[string]map[string]zoo.Pair
+	seq      int
+}
+
+// New assembles a fleet from its config.
+func New(cfg Config) (*Fleet, error) {
+	if len(cfg.Devices) == 0 {
+		return nil, fmt.Errorf("fleet: no devices configured")
+	}
+	newSystem := cfg.NewSystem
+	if newSystem == nil {
+		newSystem = zoo.Default
+	}
+	place := cfg.Placement
+	if place == nil {
+		place = NewRoundRobin()
+	}
+	f := &Fleet{
+		place:    place,
+		adm:      cfg.Admission,
+		affinity: map[string]map[string]zoo.Pair{},
+	}
+	seen := map[string]bool{}
+	for _, dc := range cfg.Devices {
+		if dc.Name == "" {
+			return nil, fmt.Errorf("fleet: device with empty name")
+		}
+		if seen[dc.Name] {
+			return nil, fmt.Errorf("fleet: duplicate device name %q", dc.Name)
+		}
+		seen[dc.Name] = true
+		scale := dc.Scale
+		if scale == 0 {
+			scale = 1
+		}
+		if scale < 0 {
+			return nil, fmt.Errorf("fleet: device %q has negative scale %v", dc.Name, scale)
+		}
+		devSeed := dc.Seed
+		if devSeed == 0 {
+			devSeed = DeriveSeed(cfg.Seed, dc.Name)
+		}
+		sys := newSystem(devSeed)
+		sys.SoC.TimeScale = scale
+		f.devices = append(f.devices, &Device{
+			Name:  dc.Name,
+			Scale: scale,
+			Sys:   sys,
+			DML:   loader.New(sys, cfg.Eviction),
+		})
+	}
+	sort.Slice(f.devices, func(i, j int) bool { return f.devices[i].Name < f.devices[j].Name })
+	return f, nil
+}
+
+// Devices returns the fleet members in name order.
+func (f *Fleet) Devices() []*Device { return f.devices }
+
+// Affinity returns the learned (model, kind) engine set for a scenario, in
+// deterministic key order.
+func (f *Fleet) Affinity(scenario string) []zoo.Pair {
+	m := f.affinity[scenario]
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	pairs := make([]zoo.Pair, 0, len(keys))
+	for _, k := range keys {
+		pairs = append(pairs, m[k])
+	}
+	return pairs
+}
+
+// StreamOutcome is one offered stream's fate.
+type StreamOutcome struct {
+	Name     string
+	Scenario string
+	// Device is the serving device's name (empty when rejected).
+	Device  string
+	Arrival time.Duration
+	// AdmittedAt is when the stream started being served — its arrival, or
+	// later when it sat in the admission queue.
+	AdmittedAt time.Duration
+	// Rejected marks streams the admission gate turned away.
+	Rejected  bool
+	PeriodSec float64
+	// Stream holds the per-frame records and timings (nil when rejected).
+	Stream *runtime.StreamResult
+}
+
+// QueueDelaySec returns how long the stream waited for admission.
+func (o *StreamOutcome) QueueDelaySec() float64 {
+	return (o.AdmittedAt - o.Arrival).Seconds()
+}
+
+// DeviceStats summarizes one device's run.
+type DeviceStats struct {
+	Name    string
+	Scale   float64
+	Streams int
+	Frames  int
+	Loads   int
+	Evicts  int
+	// BusySec is total processor-busy time across the device's processors.
+	BusySec float64
+	// Utilization is the busy fraction of the device's most-loaded
+	// processor over the fleet horizon; PeakProc names it.
+	Utilization float64
+	PeakProc    string
+}
+
+// Result is one fleet run.
+type Result struct {
+	// Outcomes are in offered (arrival) order.
+	Outcomes []*StreamOutcome
+	// Devices are per-device stats in name order.
+	Devices []DeviceStats
+	// Horizon is the makespan: the latest stream completion.
+	Horizon time.Duration
+	// Offered, Served and Rejected count streams.
+	Offered  int
+	Served   int
+	Rejected int
+}
+
+// Run serves the offered streams to completion on the fleet's global
+// deterministic event loop. At every iteration the earliest event is
+// processed: a stream departure (frees its admission slot, may drain the
+// queue), a stream arrival (admission + placement), or the earliest-ready
+// frame step across all devices. Ties resolve departure < arrival < step,
+// then device name, then admission order — every tie-break keys on names and
+// sequence numbers, never on slice order or map iteration, so identical
+// configs replay bit-for-bit.
+func (f *Fleet) Run(reqs []StreamRequest) (*Result, error) {
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := &reqs[order[a]], &reqs[order[b]]
+		if ra.Arrival != rb.Arrival {
+			return ra.Arrival < rb.Arrival
+		}
+		return ra.Name < rb.Name
+	})
+	res := &Result{Offered: len(reqs)}
+	outcomes := make([]*StreamOutcome, 0, len(reqs))
+
+	next := 0 // index into order: next unprocessed arrival
+	var queue []*StreamOutcome
+	waiting := map[*StreamOutcome]*StreamRequest{}
+
+	fail := func(err error) (*Result, error) {
+		for _, d := range f.devices {
+			for _, as := range d.sessions {
+				err = errors.Join(err, as.sess.Close())
+			}
+		}
+		return nil, err
+	}
+
+	for {
+		// Earliest departure and earliest step across devices (name order).
+		var dep, step *activeSession
+		var depAt, stepAt time.Duration
+		for _, d := range f.devices {
+			for _, as := range d.sessions {
+				if as.sess.Done() {
+					if t := as.sess.Horizon(); dep == nil || t < depAt {
+						dep, depAt = as, t
+					}
+				} else {
+					if t := as.sess.ReadyAt(); step == nil || t < stepAt {
+						step, stepAt = as, t
+					}
+				}
+			}
+		}
+		var arrAt time.Duration
+		haveArr := next < len(order)
+		if haveArr {
+			arrAt = reqs[order[next]].Arrival
+		}
+
+		switch {
+		case dep != nil && (!haveArr || depAt <= arrAt) && (step == nil || depAt <= stepAt):
+			f.depart(dep)
+			if err := f.drainQueue(&queue, waiting, depAt); err != nil {
+				return fail(err)
+			}
+		case haveArr && (step == nil || arrAt <= stepAt):
+			req := &reqs[order[next]]
+			next++
+			out, err := f.arrive(req, arrAt, &queue, waiting)
+			if err != nil {
+				return fail(err)
+			}
+			outcomes = append(outcomes, out)
+		case step != nil:
+			if err := step.sess.Step(); err != nil {
+				return fail(err)
+			}
+		default:
+			// No departures, arrivals or steppable sessions left; anything
+			// still queued can never be admitted (all arrivals processed,
+			// no active streams to free slots) — reject it.
+			for _, out := range queue {
+				out.Rejected = true
+			}
+			queue = nil
+			goto done
+		}
+	}
+done:
+	for _, out := range outcomes {
+		if out.Rejected {
+			res.Rejected++
+		} else {
+			res.Served++
+			if out.Stream != nil {
+				for _, tm := range out.Stream.Timings {
+					if tm.Done > res.Horizon {
+						res.Horizon = tm.Done
+					}
+				}
+			}
+		}
+	}
+	res.Outcomes = outcomes
+	for _, d := range f.devices {
+		res.Devices = append(res.Devices, f.deviceStats(d, res.Horizon))
+	}
+	return res, nil
+}
+
+// arrive runs admission + placement for one offered stream.
+func (f *Fleet) arrive(req *StreamRequest, at time.Duration, queue *[]*StreamOutcome, waiting map[*StreamOutcome]*StreamRequest) (*StreamOutcome, error) {
+	out := &StreamOutcome{
+		Name:      req.Name,
+		Scenario:  req.Scenario,
+		Arrival:   req.Arrival,
+		PeriodSec: req.PeriodSec,
+	}
+	cands := f.candidates()
+	if len(cands) == 0 {
+		if f.adm.QueueLimit < 0 || len(*queue) < f.adm.QueueLimit {
+			*queue = append(*queue, out)
+			waiting[out] = req
+		} else {
+			out.Rejected = true
+		}
+		return out, nil
+	}
+	if err := f.admit(req, out, at, cands); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// candidates returns the devices with admission headroom, in name order.
+func (f *Fleet) candidates() []*Device {
+	var cands []*Device
+	for _, d := range f.devices {
+		if f.adm.PerDeviceStreams > 0 && len(d.sessions) >= f.adm.PerDeviceStreams {
+			continue
+		}
+		cands = append(cands, d)
+	}
+	return cands
+}
+
+// admit places a stream on a device and opens its serving session at time at.
+func (f *Fleet) admit(req *StreamRequest, out *StreamOutcome, at time.Duration, cands []*Device) error {
+	dev := f.place.Pick(f, req, cands)
+	if dev == nil {
+		return fmt.Errorf("fleet: placement %s picked no device for %s", f.place.Name(), req.Name)
+	}
+	if req.Policy == nil {
+		return fmt.Errorf("fleet: stream %s has no policy factory", req.Name)
+	}
+	pol, err := req.Policy(dev.Sys)
+	if err != nil {
+		return fmt.Errorf("fleet: build policy for %s on %s: %w", req.Name, dev.Name, err)
+	}
+	sess, err := runtime.OpenSessionAt(dev.Sys, dev.DML, runtime.StreamSpec{
+		Name:      req.Name,
+		Frames:    req.Frames,
+		PeriodSec: req.PeriodSec,
+		Policy:    pol,
+	}, at)
+	if err != nil {
+		return fmt.Errorf("fleet: open %s on %s: %w", req.Name, dev.Name, err)
+	}
+	out.Device = dev.Name
+	out.AdmittedAt = at
+	f.seq++
+	dev.sessions = append(dev.sessions, &activeSession{sess: sess, dev: dev, out: out, seq: f.seq})
+	return nil
+}
+
+// depart closes a completed stream's session, records its outcome, frees its
+// admission slot and teaches the affinity model.
+func (f *Fleet) depart(as *activeSession) {
+	_ = as.sess.Close() // a completed fixed sequence cannot fail to release
+	d := as.dev
+	for i, s := range d.sessions {
+		if s == as {
+			d.sessions = append(d.sessions[:i], d.sessions[i+1:]...)
+			break
+		}
+	}
+	sr := as.sess.Result()
+	as.out.Stream = sr
+	d.served++
+	d.frames += len(sr.Result.Records)
+	if h := as.sess.Horizon(); h > d.horizon {
+		d.horizon = h
+	}
+	if as.out.Scenario != "" {
+		m := f.affinity[as.out.Scenario]
+		if m == nil {
+			m = map[string]zoo.Pair{}
+			f.affinity[as.out.Scenario] = m
+		}
+		for _, rec := range sr.Result.Records {
+			m[rec.Pair.Model+"/"+rec.Pair.Kind.String()] = rec.Pair
+		}
+	}
+}
+
+// drainQueue admits waiting streams while capacity exists, at the drain
+// time (their cameras start when admitted, not while they wait).
+func (f *Fleet) drainQueue(queue *[]*StreamOutcome, waiting map[*StreamOutcome]*StreamRequest, at time.Duration) error {
+	for len(*queue) > 0 {
+		cands := f.candidates()
+		if len(cands) == 0 {
+			return nil
+		}
+		out := (*queue)[0]
+		*queue = (*queue)[1:]
+		req := waiting[out]
+		delete(waiting, out)
+		if err := f.admit(req, out, at, cands); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deviceStats reduces one device's meters to its summary.
+func (f *Fleet) deviceStats(d *Device, horizon time.Duration) DeviceStats {
+	st := DeviceStats{
+		Name:    d.Name,
+		Scale:   d.Scale,
+		Streams: d.served,
+		Frames:  d.frames,
+		Loads:   d.DML.Stats().Loads,
+		Evicts:  d.DML.Stats().Evictions,
+	}
+	procs := make([]string, 0, len(d.Sys.SoC.Procs))
+	for id := range d.Sys.SoC.Procs {
+		procs = append(procs, id)
+	}
+	sort.Strings(procs)
+	for _, id := range procs {
+		busy := d.Sys.SoC.Meter.BusyTime[id]
+		st.BusySec += busy.Seconds()
+		if horizon > 0 {
+			if u := float64(busy) / float64(horizon); u > st.Utilization {
+				st.Utilization = u
+				st.PeakProc = id
+			}
+		}
+	}
+	return st
+}

@@ -1,0 +1,124 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/zoo"
+)
+
+// Placement chooses the serving device for an admitted stream. The
+// dispatcher hands it the devices with admission headroom, in name order and
+// never empty; implementations must be deterministic — tie-breaks key on
+// device names or the given candidate order, never on map iteration.
+type Placement interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Pick selects the serving device for req among candidates.
+	Pick(f *Fleet, req *StreamRequest, candidates []*Device) *Device
+}
+
+// PlacementByName resolves a policy name ("round-robin",
+// "least-outstanding", "residency-affinity") to a fresh instance — the
+// cmd/fleetsim flag and the sweep grid both key on these names.
+func PlacementByName(name string) (Placement, error) {
+	switch name {
+	case "round-robin":
+		return NewRoundRobin(), nil
+	case "least-outstanding":
+		return NewLeastOutstanding(), nil
+	case "residency-affinity":
+		return NewResidencyAffinity(), nil
+	}
+	return nil, fmt.Errorf("fleet: unknown placement %q", name)
+}
+
+// roundRobin rotates over the fleet's name-ordered device list, skipping
+// devices without headroom — the classic load-oblivious baseline.
+type roundRobin struct {
+	next int
+}
+
+// NewRoundRobin returns the rotating placement baseline.
+func NewRoundRobin() Placement { return &roundRobin{} }
+
+// Name implements Placement.
+func (p *roundRobin) Name() string { return "round-robin" }
+
+// Pick implements Placement.
+func (p *roundRobin) Pick(f *Fleet, _ *StreamRequest, candidates []*Device) *Device {
+	devs := f.Devices()
+	for i := 0; i < len(devs); i++ {
+		d := devs[(p.next+i)%len(devs)]
+		for _, c := range candidates {
+			if c == d {
+				p.next = (p.next + i + 1) % len(devs)
+				return d
+			}
+		}
+	}
+	// The dispatcher guarantees candidates is a non-empty subset of the
+	// fleet's devices, so the rotation above always returns.
+	panic("fleet: round-robin found no candidate among the fleet's devices")
+}
+
+// leastOutstanding places each stream on the candidate with the fewest
+// frames still queued — join-the-shortest-queue, counting work rather than
+// streams so slow devices with long backlogs are avoided.
+type leastOutstanding struct{}
+
+// NewLeastOutstanding returns the join-the-shortest-queue placement.
+func NewLeastOutstanding() Placement { return leastOutstanding{} }
+
+// Name implements Placement.
+func (leastOutstanding) Name() string { return "least-outstanding" }
+
+// Pick implements Placement.
+func (leastOutstanding) Pick(_ *Fleet, _ *StreamRequest, candidates []*Device) *Device {
+	best := candidates[0]
+	bestOut := best.OutstandingFrames()
+	for _, d := range candidates[1:] {
+		if out := d.OutstandingFrames(); out < bestOut {
+			best, bestOut = d, out
+		}
+	}
+	return best
+}
+
+// residencyAffinity prefers the candidate already holding the engines
+// streams of this scenario were observed to serve from (the fleet's learned
+// affinity model), so new streams hit warm residency instead of paying
+// loads — placement treating model residency as cache state. Ties break on
+// the earlier queue horizon, then name order.
+type residencyAffinity struct{}
+
+// NewResidencyAffinity returns the residency-aware placement.
+func NewResidencyAffinity() Placement { return residencyAffinity{} }
+
+// Name implements Placement.
+func (residencyAffinity) Name() string { return "residency-affinity" }
+
+// Pick implements Placement.
+func (residencyAffinity) Pick(f *Fleet, req *StreamRequest, candidates []*Device) *Device {
+	likely := f.Affinity(req.Scenario)
+	best := candidates[0]
+	bestScore, bestHorizon := affinityScore(best, likely), best.Horizon()
+	for _, d := range candidates[1:] {
+		score, horizon := affinityScore(d, likely), d.Horizon()
+		if score > bestScore || (score == bestScore && horizon < bestHorizon) {
+			best, bestScore, bestHorizon = d, score, horizon
+		}
+	}
+	return best
+}
+
+// affinityScore counts how many of the scenario's likely engines are
+// resident on the device.
+func affinityScore(d *Device, likely []zoo.Pair) int {
+	n := 0
+	for _, p := range likely {
+		if d.DML.IsResident(p) {
+			n++
+		}
+	}
+	return n
+}

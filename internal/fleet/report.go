@@ -1,0 +1,109 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/textplot"
+)
+
+// Summary reduces a fleet run to its headline serving metrics.
+type Summary struct {
+	Offered, Served, Rejected int
+	Frames                    int
+	// AvgIoU and SuccessRate are detection quality across served frames.
+	AvgIoU      float64
+	SuccessRate float64
+	// Latency is the arrival-to-completion profile across every served
+	// frame (device queueing included).
+	Latency metrics.LatencyProfile
+	// DeadlineMissRate is the fraction of served frames finishing past
+	// their deadline; RejectRate the fraction of offered streams refused.
+	DeadlineMissRate float64
+	RejectRate       float64
+	// AvgQueueDelaySec is the mean admission-queue wait across admitted
+	// streams.
+	AvgQueueDelaySec float64
+	// Loads and Evictions total across device loaders; AvgUtilization is
+	// the mean per-device peak-processor busy fraction.
+	Loads, Evictions int
+	AvgUtilization   float64
+}
+
+// Summarize reduces a fleet result.
+func Summarize(res *Result) Summary {
+	s := Summary{Offered: res.Offered, Served: res.Served, Rejected: res.Rejected}
+	var lats []float64
+	var iouSum, delaySum float64
+	success, missed, admitted := 0, 0, 0
+	for _, out := range res.Outcomes {
+		if out.Rejected || out.Stream == nil {
+			continue
+		}
+		admitted++
+		delaySum += out.QueueDelaySec()
+		lats = append(lats, out.Stream.Latencies()...)
+		missed += out.Stream.MissCount()
+		for _, rec := range out.Stream.Result.Records {
+			iouSum += rec.IoU
+			if rec.IoU >= metrics.SuccessIoU {
+				success++
+			}
+		}
+	}
+	s.Frames = len(lats)
+	if s.Frames > 0 {
+		f := float64(s.Frames)
+		s.AvgIoU = iouSum / f
+		s.SuccessRate = float64(success) / f
+		s.DeadlineMissRate = float64(missed) / f
+	}
+	if admitted > 0 {
+		s.AvgQueueDelaySec = delaySum / float64(admitted)
+	}
+	if res.Offered > 0 {
+		s.RejectRate = float64(res.Rejected) / float64(res.Offered)
+	}
+	s.Latency = metrics.Latencies(lats)
+	var utilSum float64
+	for _, d := range res.Devices {
+		s.Loads += d.Loads
+		s.Evictions += d.Evicts
+		utilSum += d.Utilization
+	}
+	if len(res.Devices) > 0 {
+		s.AvgUtilization = utilSum / float64(len(res.Devices))
+	}
+	return s
+}
+
+// Report renders a fleet run: per-device table plus the utilization gauge
+// plot.
+func Report(res *Result) string {
+	rows := [][]string{{"Device", "Scale", "Streams", "Frames", "Loads", "Evictions", "Busy (s)", "Peak Util", "Peak Proc"}}
+	labels := make([]string, 0, len(res.Devices))
+	utils := make([]float64, 0, len(res.Devices))
+	for _, d := range res.Devices {
+		rows = append(rows, []string{
+			d.Name,
+			fmt.Sprintf("%.2f", d.Scale),
+			fmt.Sprintf("%d", d.Streams),
+			fmt.Sprintf("%d", d.Frames),
+			fmt.Sprintf("%d", d.Loads),
+			fmt.Sprintf("%d", d.Evicts),
+			fmt.Sprintf("%.1f", d.BusySec),
+			fmt.Sprintf("%.1f%%", d.Utilization*100),
+			d.PeakProc,
+		})
+		labels = append(labels, d.Name)
+		utils = append(utils, d.Utilization)
+	}
+	sum := Summarize(res)
+	head := fmt.Sprintf(
+		"Fleet: %d offered, %d served, %d rejected | IoU %.3f | p50 %.3fs p99 %.3fs | miss %.1f%% | horizon %.1fs",
+		sum.Offered, sum.Served, sum.Rejected, sum.AvgIoU,
+		sum.Latency.P50, sum.Latency.P99, sum.DeadlineMissRate*100, res.Horizon.Seconds())
+	return head + "\n\n" +
+		textplot.Table("Per-device serving totals", rows) + "\n" +
+		textplot.PercentBars("Peak-processor utilization over the fleet horizon", labels, utils, 40)
+}

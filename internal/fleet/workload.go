@@ -1,0 +1,101 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/scene"
+)
+
+// WorkloadConfig parameterizes the deterministic open-loop stream generator:
+// seeded Poisson-like arrivals of finite streams drawn from the evaluation
+// suite.
+type WorkloadConfig struct {
+	// Seed drives every draw; identical configs generate identical
+	// workloads bit-for-bit.
+	Seed uint64
+	// Streams is the number of streams offered.
+	Streams int
+	// RatePerSec is the mean stream arrival rate: inter-arrival gaps are
+	// exponential draws (a Poisson process realized through rng.Stream).
+	RatePerSec float64
+	// PeriodSec is every stream's camera frame period.
+	PeriodSec float64
+	// MinFrames and MaxFrames bound each stream's length (uniform draw);
+	// streams are truncated to the scenario's rendered length.
+	MinFrames, MaxFrames int
+	// Scenarios is the content mix, drawn uniformly per stream (default
+	// scene.EvaluationSuite()).
+	Scenarios []*scene.Scenario
+}
+
+// DefaultWorkloadConfig returns the standard fleet workload: 16 streams of
+// 10 fps video, 12-24 s long, arriving at ~0.25 streams/s — a mean offered
+// load of ~4.5 concurrent streams, past one device's PR 2 capacity cliff.
+func DefaultWorkloadConfig() WorkloadConfig {
+	return WorkloadConfig{
+		Seed:       1,
+		Streams:    16,
+		RatePerSec: 0.25,
+		PeriodSec:  0.1,
+		MinFrames:  120,
+		MaxFrames:  240,
+	}
+}
+
+// FrameSource renders (or returns a cached render of) a scenario; the
+// experiments environment's cache satisfies it directly.
+type FrameSource func(*scene.Scenario) []scene.Frame
+
+// GenerateWorkload expands a config into concrete stream requests: arrival
+// times from exponential inter-arrival draws, scenarios and lengths drawn
+// uniformly, frames from source, and every stream sharing the given policy
+// factory. Generation consumes only the workload's own forked stream, so a
+// workload is reproducible independent of fleet composition.
+func GenerateWorkload(cfg WorkloadConfig, source FrameSource, policy PolicyFactory) ([]StreamRequest, error) {
+	if cfg.Streams <= 0 {
+		return nil, fmt.Errorf("fleet: workload needs a positive stream count, got %d", cfg.Streams)
+	}
+	if cfg.RatePerSec <= 0 {
+		return nil, fmt.Errorf("fleet: workload needs a positive arrival rate, got %v", cfg.RatePerSec)
+	}
+	if cfg.PeriodSec <= 0 {
+		return nil, fmt.Errorf("fleet: workload needs a positive camera period, got %v", cfg.PeriodSec)
+	}
+	if cfg.MinFrames <= 0 || cfg.MaxFrames < cfg.MinFrames {
+		return nil, fmt.Errorf("fleet: invalid stream length bounds [%d, %d]", cfg.MinFrames, cfg.MaxFrames)
+	}
+	if source == nil {
+		return nil, fmt.Errorf("fleet: workload needs a frame source")
+	}
+	scenarios := cfg.Scenarios
+	if scenarios == nil {
+		scenarios = scene.EvaluationSuite()
+	}
+	r := rng.New(cfg.Seed).Fork("fleet/workload")
+	reqs := make([]StreamRequest, 0, cfg.Streams)
+	at := time.Duration(0)
+	for i := 0; i < cfg.Streams; i++ {
+		// Exponential inter-arrival: -ln(1-U)/rate, with U in [0,1) so the
+		// argument stays in (0,1].
+		gap := -math.Log(1-r.Float64()) / cfg.RatePerSec
+		at += time.Duration(gap * float64(time.Second))
+		sc := scenarios[r.Intn(len(scenarios))]
+		n := cfg.MinFrames + r.Intn(cfg.MaxFrames-cfg.MinFrames+1)
+		frames := source(sc)
+		if len(frames) > n {
+			frames = frames[:n]
+		}
+		reqs = append(reqs, StreamRequest{
+			Name:      fmt.Sprintf("%s#%02d", sc.Name, i),
+			Scenario:  sc.Name,
+			Arrival:   at,
+			Frames:    frames,
+			PeriodSec: cfg.PeriodSec,
+			Policy:    policy,
+		})
+	}
+	return reqs, nil
+}

@@ -13,6 +13,7 @@ package loader
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/accel"
 	"repro/internal/zoo"
@@ -59,6 +60,7 @@ func (p EvictionPolicy) String() string {
 type resident struct {
 	key         string // residency key within the pool
 	model       string
+	kind        accel.Kind // processor kind the engine executes on
 	bytes       int64
 	loadedSeq   uint64 // sequence number at load time (FIFO)
 	requestedAt uint64 // last request sequence (LRR)
@@ -248,6 +250,7 @@ func (l *Loader) EnsureWith(pair zoo.Pair, exec ExecFn) (accel.Cost, error) {
 	l.resident[pool.Name][key] = &resident{
 		key:         key,
 		model:       pair.Model,
+		kind:        pi.proc.Kind,
 		bytes:       lc.Bytes,
 		loadedSeq:   l.seq,
 		requestedAt: l.seq,
@@ -327,6 +330,48 @@ func (l *Loader) Refs(pair zoo.Pair) int {
 		return 0
 	}
 	return r.refs
+}
+
+// ResidentFallback returns a deterministic warm substitute for a refused
+// load: an already-resident engine in the pool backing requested.ProcID,
+// preferring engines of the requested processor kind, then lexical key
+// order. The serving runtime uses it when a stream's load is refused
+// (ErrNoMemory) and the stream holds no engine of its own — degraded
+// service from whatever is warm beats failing the stream.
+func (l *Loader) ResidentFallback(requested zoo.Pair) (zoo.Pair, bool) {
+	pi, err := l.info(requested)
+	if err != nil {
+		return zoo.Pair{}, false
+	}
+	m := l.resident[pi.pool.Name]
+	if len(m) == 0 {
+		return zoo.Pair{}, false
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var best *resident
+	for _, k := range keys {
+		r := m[k]
+		if r.kind == requested.Kind {
+			best = r
+			break
+		}
+		if best == nil {
+			best = r
+		}
+	}
+	procID := requested.ProcID
+	if best.kind != requested.Kind {
+		ids := l.sys.SoC.ProcIDsByKind(best.kind)
+		if len(ids) == 0 {
+			return zoo.Pair{}, false
+		}
+		procID = ids[0]
+	}
+	return zoo.Pair{Model: best.model, ProcID: procID, Kind: best.kind}, true
 }
 
 // evictOne removes one engine from the pool according to the policy.

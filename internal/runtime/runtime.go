@@ -310,15 +310,35 @@ func (st *Step) Acquire(pair zoo.Pair) (zoo.Pair, error) {
 		e.haveHeld = false
 	}
 	cost, err := e.dml.EnsureWith(pair, e.exec)
-	if errors.Is(err, loader.ErrNoMemory) && e.dml.IsResident(e.held) {
-		// Shared-memory arbitration: every candidate victim is held by
-		// another stream. Nothing was evicted, so the engine this stream
-		// was serving from is still resident — keep serving from it.
-		if err := e.dml.Acquire(e.held); err != nil {
-			return zoo.Pair{}, err
+	if errors.Is(err, loader.ErrNoMemory) {
+		if e.dml.IsResident(e.held) {
+			// Shared-memory arbitration: every candidate victim is held by
+			// another stream. Nothing was evicted, so the engine this stream
+			// was serving from is still resident — keep serving from it.
+			if err := e.dml.Acquire(e.held); err != nil {
+				return zoo.Pair{}, err
+			}
+			e.haveHeld = true
+			return e.held, nil
 		}
-		e.haveHeld = true
-		return e.held, nil
+		// The stream holds nothing to fall back to (typically its very
+		// first frame arriving into a pool full of other streams' held
+		// engines). Degraded service: adopt a warm resident engine instead
+		// of failing the stream; the policy sees the substituted pair and
+		// re-decides from there.
+		if fb, ok := e.dml.ResidentFallback(pair); ok {
+			cost, err := e.dml.EnsureWith(fb, e.exec) // refresh recency; zero cost
+			if err != nil {
+				return zoo.Pair{}, err
+			}
+			if err := e.dml.Acquire(fb); err != nil {
+				return zoo.Pair{}, err
+			}
+			e.held, e.haveHeld = fb, true
+			st.rec.LoadedModel = cost.Lat > 0
+			st.charge(cost)
+			return fb, nil
+		}
 	}
 	if err != nil {
 		return zoo.Pair{}, err

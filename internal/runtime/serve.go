@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -36,6 +37,10 @@ type FrameTiming struct {
 	Done time.Duration
 	// Wait is the total processor queueing delay paid within the frame.
 	Wait time.Duration
+	// Deadline is the frame's relative deadline — the camera period,
+	// converted to a Duration once per stream when the session opens rather
+	// than re-derived from the float period on every miss check.
+	Deadline time.Duration
 }
 
 // LatencySec returns the arrival-to-completion latency (backlog + queueing +
@@ -43,9 +48,9 @@ type FrameTiming struct {
 func (t FrameTiming) LatencySec() float64 { return (t.Done - t.Arrival).Seconds() }
 
 // Missed reports whether the frame finished after its deadline (the next
-// frame's arrival).
-func (t FrameTiming) Missed(periodSec float64) bool {
-	return t.Done-t.Arrival > time.Duration(periodSec*float64(time.Second))
+// frame's arrival, precomputed per stream as Deadline).
+func (t FrameTiming) Missed() bool {
+	return t.Done-t.Arrival > t.Deadline
 }
 
 // StreamResult is one stream's outcome of a Serve run: the per-frame records
@@ -66,12 +71,11 @@ func (r *StreamResult) Latencies() []float64 {
 	return out
 }
 
-// MissCount returns the number of frames that blew their deadline at the
-// given camera period.
-func (r *StreamResult) MissCount(periodSec float64) int {
+// MissCount returns the number of frames that blew their deadline.
+func (r *StreamResult) MissCount() int {
 	n := 0
 	for _, t := range r.Timings {
-		if t.Missed(periodSec) {
+		if t.Missed() {
 			n++
 		}
 	}
@@ -102,112 +106,77 @@ func (r *StreamResult) QueueWaitSec() float64 {
 // inline. A single-stream Serve is bit-identical to Engine.Run up to
 // queueing bookkeeping (nothing to queue behind), which the runtime tests
 // pin down.
+//
+// Serve is a thin wrapper over per-stream Sessions on one device; the fleet
+// layer (internal/fleet) drives the same sessions across many devices with
+// dynamic arrivals.
 func Serve(sys *zoo.System, dml *loader.Loader, specs []StreamSpec) ([]*StreamResult, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("runtime: Serve needs at least one stream")
 	}
 	n := len(specs)
-	engines := make([]*Engine, n)
+	sessions := make([]*Session, n)
 	results := make([]*StreamResult, n)
 	for i, sp := range specs {
-		if sp.Policy == nil {
-			return nil, fmt.Errorf("runtime: stream %d has no policy", i)
-		}
-		if sp.PeriodSec < 0 {
-			return nil, fmt.Errorf("runtime: stream %d has negative period %v", i, sp.PeriodSec)
-		}
 		for j := 0; j < i; j++ {
-			if specs[j].Policy == sp.Policy {
+			if specs[j].Policy != nil && specs[j].Policy == sp.Policy {
 				return nil, fmt.Errorf("runtime: streams %d and %d share a policy instance", j, i)
 			}
 		}
-		eng := NewEngine(sys, dml, sp.Policy)
-		eng.served = true
-		engines[i] = eng
 		name := sp.Name
 		if name == "" {
 			name = fmt.Sprintf("stream%d", i)
 		}
-		results[i] = &StreamResult{
-			Name: name,
-			Result: &Result{
-				Method:   sp.Policy.Name(),
-				Scenario: name,
-				Records:  make([]FrameRecord, 0, len(sp.Frames)),
-			},
-			Timings: make([]FrameTiming, 0, len(sp.Frames)),
+		s, err := newSession(sys, dml, sp, name, 0)
+		if err != nil {
+			return nil, err
 		}
+		sessions[i] = s
+		results[i] = s.Result()
 	}
-	// Reset policies in stream order, so start-of-stream charges (prefetch)
-	// land deterministically.
-	for i, sp := range specs {
-		if err := sp.Policy.Reset(engines[i]); err != nil {
-			return nil, fmt.Errorf("runtime: reset stream %d: %w", i, err)
+	// Start (reset) policies in stream order, so start-of-stream charges
+	// (prefetch) land deterministically. Every path from here on closes all
+	// sessions, so residency holds never outlive the call.
+	for _, s := range sessions {
+		if err := s.start(); err != nil {
+			return nil, errors.Join(err, closeAll(sessions))
 		}
-	}
-
-	arrivalOf := func(i, frame int) time.Duration {
-		return time.Duration(float64(frame) * specs[i].PeriodSec * float64(time.Second))
-	}
-
-	next := make([]int, n)           // next frame index per stream
-	done := make([]time.Duration, n) // completion time of the previous frame
-	prev := make([]zoo.Pair, n)      // previous frame's pair (swap tracking)
-	for i, eng := range engines {
-		// Start-of-stream charges (prefetch loads) occupy the stream until
-		// eng.at; frame 0 cannot start before they complete, so their cost
-		// shows up as frame-0 backlog rather than silently vanishing.
-		done[i] = eng.at
 	}
 	for {
 		// Event selection: earliest ready frame wins; ties go to the lowest
 		// stream index. Ready is the later of the frame's arrival and the
 		// stream's previous completion (streams process frames in order).
-		best := -1
+		var best *Session
 		var bestReady time.Duration
-		for i := range specs {
-			if next[i] >= len(specs[i].Frames) {
+		for _, s := range sessions {
+			if s.Done() {
 				continue
 			}
-			ready := arrivalOf(i, next[i])
-			if done[i] > ready {
-				ready = done[i]
-			}
-			if best == -1 || ready < bestReady {
-				best, bestReady = i, ready
+			ready := s.ReadyAt()
+			if best == nil || ready < bestReady {
+				best, bestReady = s, ready
 			}
 		}
-		if best == -1 {
-			return results, finish(engines)
+		if best == nil {
+			return results, closeAll(sessions)
 		}
-		eng := engines[best]
-		i := next[best]
-		frame := specs[best].Frames[i]
-		eng.at, eng.wait = bestReady, 0
-		st := eng.beginStep(frame, i)
-		if err := specs[best].Policy.Step(st); err != nil {
-			return nil, fmt.Errorf("runtime: %s frame %d: %w", results[best].Name, frame.Index, err)
+		if err := best.Step(); err != nil {
+			return nil, errors.Join(err, closeAll(sessions))
 		}
-		st.rec.Swapped = i > 0 && st.rec.Pair != prev[best]
-		prev[best] = st.rec.Pair
-		results[best].Result.Records = append(results[best].Result.Records, st.rec)
-		results[best].Timings = append(results[best].Timings, FrameTiming{
-			Arrival: arrivalOf(best, i),
-			Start:   bestReady,
-			Done:    eng.at,
-			Wait:    eng.wait,
-		})
-		done[best] = eng.at
-		next[best]++
 	}
 }
 
-// finish releases every stream's residency hold so the pools end clean.
-func finish(engines []*Engine) error {
-	for _, eng := range engines {
-		if err := eng.releaseHeld(); err != nil {
-			return err
+// closeAll closes every session, releasing residency holds, and joins any
+// close errors.
+func closeAll(sessions []*Session) error {
+	var errs []error
+	for _, s := range sessions {
+		if s == nil {
+			continue
+		}
+		if err := s.Close(); err != nil {
+			errs = append(errs, err)
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }

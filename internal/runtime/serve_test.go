@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"fmt"
 	gort "runtime"
 	"testing"
 	"time"
@@ -221,6 +222,153 @@ func TestServePrefetchDelaysFrameZero(t *testing.T) {
 	// The prefetched engine is resident: frame 0 pays no demand load.
 	if res[0].Result.Records[0].LoadedModel {
 		t.Fatal("frame 0 re-loaded a prefetched engine")
+	}
+}
+
+// failAtPolicy serves like fixedPolicy until frame failFrame, then errors —
+// after it has acquired residency holds.
+type failAtPolicy struct {
+	fixedPolicy
+	failFrame int
+}
+
+func (p *failAtPolicy) Step(st *Step) error {
+	if st.Pos() >= p.failFrame {
+		return fmt.Errorf("policy injected failure at frame %d", st.Pos())
+	}
+	return p.fixedPolicy.Step(st)
+}
+
+// failResetPolicy fails in Reset, after other streams may have started.
+type failResetPolicy struct{ fixedPolicy }
+
+func (p *failResetPolicy) Reset(*Engine) error { return fmt.Errorf("reset failure") }
+
+// TestServeFailingPolicyLeavesRefsClean pins the error-path residency
+// contract: a Serve that fails mid-stream (policy Step error) or at start
+// (policy Reset error) must still release every stream's residency hold, so
+// the shared loader's refcounts end clean and a later serve can evict freely.
+func TestServeFailingPolicyLeavesRefsClean(t *testing.T) {
+	sys := zoo.Default(1)
+	dml := loader.New(sys, loader.EvictLRR)
+	pairA := testPair(t, sys, detmodel.YoloV7, "gpu")
+	pairB := testPair(t, sys, detmodel.YoloV7Tiny, "dla0")
+	_, err := Serve(sys, dml, []StreamSpec{
+		{Frames: testFrames(t)[:40], PeriodSec: 0.1, Policy: &fixedPolicy{pair: pairA}},
+		{Frames: testFrames(t)[:40], PeriodSec: 0.1, Policy: &failAtPolicy{
+			fixedPolicy: fixedPolicy{pair: pairB}, failFrame: 10}},
+	})
+	if err == nil {
+		t.Fatal("failing policy did not surface an error")
+	}
+	if refs := dml.Refs(pairA); refs != 0 {
+		t.Fatalf("stream 0 leaked %d residency refs on %v after a failed serve", refs, pairA)
+	}
+	if refs := dml.Refs(pairB); refs != 0 {
+		t.Fatalf("stream 1 leaked %d residency refs on %v after a failed serve", refs, pairB)
+	}
+
+	// Reset-path failure: stream 0 starts (and may hold nothing yet), stream
+	// 1's reset fails; nothing may leak either way.
+	dml2 := loader.New(sys, loader.EvictLRR)
+	_, err = Serve(sys, dml2, []StreamSpec{
+		{Frames: testFrames(t)[:4], PeriodSec: 0.1, Policy: &fixedPolicy{pair: pairA}},
+		{Frames: testFrames(t)[:4], PeriodSec: 0.1, Policy: &failResetPolicy{fixedPolicy{pair: pairB}}},
+	})
+	if err == nil {
+		t.Fatal("failing reset did not surface an error")
+	}
+	if refs := dml2.Refs(pairA); refs != 0 {
+		t.Fatalf("reset failure leaked %d refs on %v", refs, pairA)
+	}
+}
+
+// TestFrameTimingPrecomputedDeadline pins that the per-stream precomputed
+// deadline reproduces the historical per-call derivation exactly: for every
+// served frame, Missed() equals the old Done-Arrival > Duration(period·1e9)
+// comparison, and the stored deadline is byte-identical to the old
+// conversion.
+func TestFrameTimingPrecomputedDeadline(t *testing.T) {
+	for _, periodSec := range []float64{0, 0.033, 0.1, 1.0 / 3.0, 0.25} {
+		res, _, _ := serveFixed(t, 2, 30, periodSec)
+		legacy := time.Duration(periodSec * float64(time.Second))
+		for _, sr := range res {
+			for i, tm := range sr.Timings {
+				if tm.Deadline != legacy {
+					t.Fatalf("period %v: stored deadline %v, legacy conversion %v",
+						periodSec, tm.Deadline, legacy)
+				}
+				oldMiss := tm.Done-tm.Arrival > time.Duration(periodSec*float64(time.Second))
+				if tm.Missed() != oldMiss {
+					t.Fatalf("period %v: %s frame %d Missed()=%v, legacy=%v",
+						periodSec, sr.Name, i, tm.Missed(), oldMiss)
+				}
+			}
+		}
+	}
+}
+
+// TestSessionStepwiseMatchesServe pins the cursor refactor: driving sessions
+// by hand through Open/ReadyAt/Step/Close reproduces Serve bit-for-bit.
+func TestSessionStepwiseMatchesServe(t *testing.T) {
+	build := func(sys *zoo.System) []StreamSpec {
+		return []StreamSpec{
+			{Frames: testFrames(t)[:50], PeriodSec: 0.1,
+				Policy: &fixedPolicy{pair: testPair(t, sys, detmodel.YoloV7, "gpu")}},
+			{Frames: testFrames(t)[:50], PeriodSec: 0.1,
+				Policy: &fixedPolicy{pair: testPair(t, sys, detmodel.YoloV7, "gpu")}},
+		}
+	}
+	sysA := zoo.Default(1)
+	served, err := Serve(sysA, loader.New(sysA, loader.EvictLRR), build(sysA))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sysB := zoo.Default(1)
+	dmlB := loader.New(sysB, loader.EvictLRR)
+	var sessions []*Session
+	for i, sp := range build(sysB) {
+		sp.Name = fmt.Sprintf("stream%d", i)
+		s, err := OpenSession(sysB, dmlB, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		sessions = append(sessions, s)
+	}
+	for {
+		var best *Session
+		var bestReady time.Duration
+		for _, s := range sessions {
+			if s.Done() {
+				continue
+			}
+			if r := s.ReadyAt(); best == nil || r < bestReady {
+				best, bestReady = s, r
+			}
+		}
+		if best == nil {
+			break
+		}
+		if err := best.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for si, s := range sessions {
+		got := s.Result()
+		want := served[si]
+		if len(got.Result.Records) != len(want.Result.Records) {
+			t.Fatalf("stream %d: %d records vs %d", si, len(got.Result.Records), len(want.Result.Records))
+		}
+		for i := range want.Result.Records {
+			if got.Result.Records[i] != want.Result.Records[i] {
+				t.Fatalf("stream %d record %d differs", si, i)
+			}
+			if got.Timings[i] != want.Timings[i] {
+				t.Fatalf("stream %d timing %d differs", si, i)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,182 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/loader"
+	"repro/internal/zoo"
+)
+
+// Session is one stream's steppable cursor over the serving event loop: open
+// the stream (validate, build the engine, run the policy's start-of-stream
+// charges), step its earliest-ready frame, and close it (releasing residency
+// holds). runtime.Serve drives a static set of sessions on one device; the
+// fleet layer (internal/fleet) interleaves dynamically arriving and departing
+// sessions across many devices through the same three verbs.
+type Session struct {
+	spec StreamSpec
+	eng  *Engine
+	res  *StreamResult
+
+	// base is the stream's open time on the global virtual clock: frame i
+	// arrives at base + i·period, and start-of-stream charges queue from it.
+	base time.Duration
+	// deadline is the per-frame relative deadline (the camera period as a
+	// Duration), precomputed once so per-frame miss checks do not repeat the
+	// float→Duration round-trip.
+	deadline time.Duration
+	// next is the index of the next frame to serve.
+	next int
+	// done is the completion time of the previously served frame (or of the
+	// start-of-stream charges while next == 0).
+	done time.Duration
+	// prev tracks the previous frame's pair for swap flagging.
+	prev   zoo.Pair
+	closed bool
+}
+
+// newSession validates a spec and builds its unstarted session. The policy's
+// Reset (start-of-stream charges) runs in start, so callers can validate a
+// whole batch of specs before any of them touches the platform.
+func newSession(sys *zoo.System, dml *loader.Loader, spec StreamSpec, name string, at time.Duration) (*Session, error) {
+	if spec.Policy == nil {
+		return nil, fmt.Errorf("runtime: stream %q has no policy", name)
+	}
+	if spec.PeriodSec < 0 {
+		return nil, fmt.Errorf("runtime: stream %q has negative period %v", name, spec.PeriodSec)
+	}
+	if at < 0 {
+		return nil, fmt.Errorf("runtime: stream %q opens at negative time %v", name, at)
+	}
+	eng := NewEngine(sys, dml, spec.Policy)
+	eng.served = true
+	eng.at = at
+	return &Session{
+		spec: spec,
+		eng:  eng,
+		base: at,
+		res: &StreamResult{
+			Name: name,
+			Result: &Result{
+				Method:   spec.Policy.Name(),
+				Scenario: name,
+				Records:  make([]FrameRecord, 0, len(spec.Frames)),
+			},
+			Timings: make([]FrameTiming, 0, len(spec.Frames)),
+		},
+		deadline: time.Duration(spec.PeriodSec * float64(time.Second)),
+	}, nil
+}
+
+// start runs the policy's Reset: start-of-stream charges (prefetch loads)
+// occupy the stream until they complete, so frame 0's backlog covers them.
+func (s *Session) start() error {
+	if err := s.spec.Policy.Reset(s.eng); err != nil {
+		return fmt.Errorf("runtime: reset stream %s: %w", s.res.Name, err)
+	}
+	s.done = s.eng.at
+	return nil
+}
+
+// OpenSession opens a steppable stream session at time 0 on the shared
+// platform: spec validation, engine construction and the policy's
+// start-of-stream charges. The caller must Close the session — on success or
+// failure — to release its residency holds.
+func OpenSession(sys *zoo.System, dml *loader.Loader, spec StreamSpec) (*Session, error) {
+	return OpenSessionAt(sys, dml, spec, 0)
+}
+
+// OpenSessionAt is OpenSession with the stream opening at virtual time at:
+// frame i arrives at at + i·period and start-of-stream charges queue from at.
+// The fleet layer uses it to inject streams mid-simulation.
+func OpenSessionAt(sys *zoo.System, dml *loader.Loader, spec StreamSpec, at time.Duration) (*Session, error) {
+	name := spec.Name
+	if name == "" {
+		name = "stream"
+	}
+	s, err := newSession(sys, dml, spec, name, at)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.start(); err != nil {
+		return nil, errors.Join(err, s.Close())
+	}
+	return s, nil
+}
+
+// Name returns the stream's label.
+func (s *Session) Name() string { return s.res.Name }
+
+// Done reports whether every frame of the stream has been served.
+func (s *Session) Done() bool { return s.next >= len(s.spec.Frames) }
+
+// Remaining returns the number of frames not yet served.
+func (s *Session) Remaining() int { return len(s.spec.Frames) - s.next }
+
+// Horizon returns the completion time of the stream's latest work: the
+// previous frame's completion, or the start-of-stream charges before frame 0.
+func (s *Session) Horizon() time.Duration { return s.done }
+
+// arrivalOf returns when the camera produces frame i. The multiplication
+// stays in float64 (not i·Duration) so a session opened at 0 reproduces the
+// historical Serve arrivals bit-for-bit.
+func (s *Session) arrivalOf(i int) time.Duration {
+	return s.base + time.Duration(float64(i)*s.spec.PeriodSec*float64(time.Second))
+}
+
+// ReadyAt returns when the next frame can start: the later of its camera
+// arrival and the previous frame's completion (streams serve frames in
+// order). Undefined once Done.
+func (s *Session) ReadyAt() time.Duration {
+	ready := s.arrivalOf(s.next)
+	if s.done > ready {
+		ready = s.done
+	}
+	return ready
+}
+
+// Step serves the next frame at its ready time: the policy's per-frame
+// decisions charge the shared platform through the engine, and the record and
+// queueing-aware timing are appended to the session's result. On error the
+// session is left un-advanced; the caller should Close it.
+func (s *Session) Step() error {
+	if s.Done() {
+		return fmt.Errorf("runtime: stream %s stepped past its last frame", s.res.Name)
+	}
+	i := s.next
+	frame := s.spec.Frames[i]
+	ready := s.ReadyAt()
+	s.eng.at, s.eng.wait = ready, 0
+	st := s.eng.beginStep(frame, i)
+	if err := s.spec.Policy.Step(st); err != nil {
+		return fmt.Errorf("runtime: %s frame %d: %w", s.res.Name, frame.Index, err)
+	}
+	st.rec.Swapped = i > 0 && st.rec.Pair != s.prev
+	s.prev = st.rec.Pair
+	s.res.Result.Records = append(s.res.Result.Records, st.rec)
+	s.res.Timings = append(s.res.Timings, FrameTiming{
+		Arrival:  s.arrivalOf(i),
+		Start:    ready,
+		Done:     s.eng.at,
+		Wait:     s.eng.wait,
+		Deadline: s.deadline,
+	})
+	s.done = s.eng.at
+	s.next++
+	return nil
+}
+
+// Close releases the session's residency hold so the shared pools end clean.
+// It is idempotent and must run on every path, including errors.
+func (s *Session) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.eng.releaseHeld()
+}
+
+// Result returns the records and timings accumulated so far.
+func (s *Session) Result() *StreamResult { return s.res }

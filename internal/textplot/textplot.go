@@ -145,6 +145,34 @@ func BarChart(title string, labels []string, values []float64, maxWidth int) str
 	return b.String()
 }
 
+// PercentBars renders fractions in [0, 1] as fixed-scale horizontal gauges
+// (full width = 100%), with the percentage printed after each bar. Unlike
+// BarChart, bars are not rescaled to the maximum, so utilization plots stay
+// comparable across runs.
+func PercentBars(title string, labels []string, fracs []float64, maxWidth int) string {
+	if len(labels) != len(fracs) {
+		return title + "\n(label/value mismatch)\n"
+	}
+	if maxWidth < 1 {
+		maxWidth = 40
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	maxLabel := 0
+	for _, l := range labels {
+		if len(l) > maxLabel {
+			maxLabel = len(l)
+		}
+	}
+	for i, f := range fracs {
+		clamped := math.Min(math.Max(f, 0), 1)
+		bars := int(clamped*float64(maxWidth) + 0.5)
+		fmt.Fprintf(&b, "%-*s |%-*s| %5.1f%%\n", maxLabel, labels[i],
+			maxWidth, strings.Repeat("=", bars), f*100)
+	}
+	return b.String()
+}
+
 // Table renders rows with aligned columns; the first row is the header,
 // separated by a rule.
 func Table(title string, rows [][]string) string {

@@ -118,3 +118,31 @@ func TestTableRaggedRows(t *testing.T) {
 		t.Fatalf("ragged rows dropped content:\n%s", out)
 	}
 }
+
+func TestPercentBars(t *testing.T) {
+	out := PercentBars("util", []string{"dev0", "dev1", "dev2"}, []float64{0, 0.5, 1}, 20)
+	if !strings.Contains(out, "util") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want title + 3 bars, got:\n%s", out)
+	}
+	// Fixed scale: 0%, 50% and 100% fill 0, 10 and 20 of 20 columns.
+	for i, want := range []int{0, 10, 20} {
+		if got := strings.Count(lines[i+1], "="); got != want {
+			t.Fatalf("bar %d has %d columns, want %d:\n%s", i, got, want, out)
+		}
+	}
+	if !strings.Contains(lines[3], "100.0%") || !strings.Contains(lines[2], "50.0%") {
+		t.Fatalf("missing percent labels:\n%s", out)
+	}
+	// Out-of-range fractions clamp instead of overflowing the gauge.
+	over := PercentBars("x", []string{"a"}, []float64{1.7}, 10)
+	if got := strings.Count(over, "="); got != 10 {
+		t.Fatalf("overflowing bar drew %d columns, want 10:\n%s", got, over)
+	}
+	if mismatch := PercentBars("x", []string{"a"}, nil, 10); !strings.Contains(mismatch, "mismatch") {
+		t.Fatalf("label/value mismatch not reported: %q", mismatch)
+	}
+}
