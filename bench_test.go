@@ -377,6 +377,26 @@ func BenchmarkFleetSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkFaultSweep runs the fault-tolerance grid (failure rate × placement
+// with checkpoint/migration) and logs the recovery headline at the highest
+// failure rate.
+func BenchmarkFaultSweep(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.FaultSweep(e, experiments.FaultSweepConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			clean, _ := res.Row(0, "residency-affinity")
+			worst, _ := res.Row(12, "residency-affinity")
+			b.Logf("faults @12/min: %d migrations, %d aborted, downtime=%.2fs, post-fault p99=%.3fs (fault-free p99=%.3fs), leaked refs=%d",
+				worst.Migrations, worst.Aborted, worst.AvgDowntimeSec,
+				worst.PostFaultP99, clean.Latency.P99, worst.LeakedRefs)
+		}
+	}
+}
+
 // BenchmarkSHIFTFrame measures the per-frame cost of the full SHIFT loop
 // (load + exec + detect + decide) on the harness itself.
 func BenchmarkSHIFTFrame(b *testing.B) {

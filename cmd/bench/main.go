@@ -195,6 +195,18 @@ func main() {
 		}
 	})
 
+	// FaultSweep: the fault-tolerance grid (failure rate × placement with
+	// checkpoint/migration).
+	fltCfg := experiments.FaultSweepConfig{}
+	run("FaultSweep", "grid", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.FaultSweep(env, fltCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
 	// NCC / NCCSearch micro-benchmarks on tracker-scale inputs.
 	r := rng.New(1)
 	imgA := randomImage(r, 72, 72)
@@ -273,6 +285,33 @@ func main() {
 		doc.Headline[cell.prefix+"_loads"] = float64(row.Loads)
 		doc.Headline[cell.prefix+"_evictions"] = float64(row.Evictions)
 		doc.Headline[cell.prefix+"_utilization"] = row.AvgUtilization
+	}
+
+	// Fault-tolerance headline: recovery metrics at the highest swept failure
+	// rate, residency-affinity placement. Deterministic per seed; the
+	// fault-free rows of the same grid must match fleet4_* exactly when the
+	// configurations coincide, and these keys are additive — existing
+	// headline blocks do not move.
+	flt, err := experiments.FaultSweep(env, fltCfg)
+	if err != nil {
+		fatal(err)
+	}
+	for _, cell := range []struct {
+		placement, prefix string
+	}{
+		{"round-robin", "fault12_rr"},
+		{"residency-affinity", "fault12_affinity"},
+	} {
+		row, ok := flt.Row(12, cell.placement)
+		if !ok {
+			fatal(fmt.Errorf("missing fault row for 12/min×%s", cell.placement))
+		}
+		doc.Headline[cell.prefix+"_migrations"] = float64(row.Migrations)
+		doc.Headline[cell.prefix+"_aborted"] = float64(row.Aborted)
+		doc.Headline[cell.prefix+"_downtime_s"] = row.AvgDowntimeSec
+		doc.Headline[cell.prefix+"_postfault_p99_s"] = row.PostFaultP99
+		doc.Headline[cell.prefix+"_p99_latency_s"] = row.Latency.P99
+		doc.Headline[cell.prefix+"_leaked_refs"] = float64(row.LeakedRefs)
 	}
 
 	if baseDoc != nil {

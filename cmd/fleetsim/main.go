@@ -4,10 +4,16 @@
 // policy. It prints the per-device serving table and utilization plot for
 // one run, or the full device-count × placement grid with -sweep.
 //
+// With -faults, a seeded fault schedule (transient outages, permanent
+// deaths, latency brownouts) is injected and in-flight streams are
+// checkpointed and migrated across the surviving devices; the report then
+// includes the recovery line (migrations, downtime, post-fault tail).
+//
 // Usage:
 //
 //	fleetsim -devices 4 -placement residency-affinity
 //	fleetsim -devices 2 -streams 24 -rate 0.5 -budget 2
+//	fleetsim -devices 4 -faults 6
 //	fleetsim -sweep
 package main
 
@@ -36,18 +42,19 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "experiment seed")
 		valFrames = flag.Int("val-frames", experiments.DefaultValidationFrames, "validation frames for characterization")
 		sweep     = flag.Bool("sweep", false, "run the full device-count × placement grid (experiments.FleetSweep)")
+		faults    = flag.Float64("faults", 0, "mean device faults per minute; > 0 injects outages/deaths/brownouts with checkpoint/migration (experiments.FaultSweep)")
 	)
 	flag.Parse()
 
 	if err := run(*devices, *scales, *placement, *streams, *rate, *period,
-		*budget, *queue, *poolMB, *seed, *valFrames, *sweep); err != nil {
+		*budget, *queue, *poolMB, *seed, *valFrames, *sweep, *faults); err != nil {
 		fmt.Fprintln(os.Stderr, "fleetsim:", err)
 		os.Exit(1)
 	}
 }
 
 func run(devices int, scales, placement string, streams int, rate, period float64,
-	budget, queue int, poolMB int64, seed uint64, valFrames int, sweep bool) error {
+	budget, queue int, poolMB int64, seed uint64, valFrames int, sweep bool, faults float64) error {
 	fmt.Printf("characterizing %d-frame validation set (seed %d)...\n", valFrames, seed)
 	env, err := experiments.NewEnv(seed, valFrames)
 	if err != nil {
@@ -59,17 +66,40 @@ func run(devices int, scales, placement string, streams int, rate, period float6
 	workload.Streams = streams
 	workload.RatePerSec = rate
 	workload.PeriodSec = period
-	cfg := experiments.FleetSweepConfig{
-		Workload:  workload,
-		Admission: &fleet.Admission{PerDeviceStreams: budget, QueueLimit: queue},
-		PoolMB:    poolMB,
-	}
+	admission := fleet.Admission{PerDeviceStreams: budget, QueueLimit: queue}
 	scaleList, err := parseScales(scales)
 	if err != nil {
 		return err
 	}
-	cfg.Scales = scaleList
 
+	if faults > 0 {
+		fcfg := fleet.DefaultFaultConfig()
+		fcfg.Horizon = experiments.FaultHorizonFor(workload)
+		fltCfg := experiments.FaultSweepConfig{
+			RatesPerMin: []float64{0, faults},
+			Placements:  []string{placement},
+			Devices:     devices,
+			Scales:      scaleList,
+			Workload:    workload,
+			Admission:   &admission,
+			PoolMB:      poolMB,
+			Fault:       fcfg,
+		}
+		res, err := experiments.FaultSweep(env, fltCfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Println(res.Report())
+		return nil
+	}
+
+	cfg := experiments.FleetSweepConfig{
+		Workload:  workload,
+		Admission: &admission,
+		PoolMB:    poolMB,
+		Scales:    scaleList,
+	}
 	if !sweep {
 		cfg.DeviceCounts = []int{devices}
 		cfg.Placements = []string{placement}

@@ -18,20 +18,24 @@
 //     Policy interface that SHIFT and every baseline run on, plus the
 //     deterministic multi-stream event loop (runtime.Serve) with FIFO
 //     processor queueing and reference-counted engine residency, factored
-//     into steppable per-stream Sessions.
+//     into steppable per-stream Sessions with checkpoint/restore
+//     (Session.Snapshot, RestoreSession, PortablePolicy) for migration.
 //   - internal/fleet: the multi-device serving layer — K heterogeneous
 //     devices behind a dispatcher with pluggable placement policies
 //     (round-robin, least-outstanding, residency-affinity), admission
-//     control with a bounded wait queue, and a seeded open-loop workload
-//     generator; one global deterministic event loop interleaves arrivals,
-//     frame steps and departures across devices.
+//     control with a bounded wait queue, a seeded open-loop workload
+//     generator, and a seeded fault injector (outages, deaths, brownouts)
+//     whose failures checkpoint and migrate in-flight streams; one global
+//     deterministic event loop interleaves arrivals, frame steps,
+//     departures and fault edges across devices.
 //   - internal/scene, internal/detmodel, internal/accel, internal/zoo:
 //     the simulated substrates (videos, models, hardware, binding).
 //   - internal/baseline: Marlin, single-model, frame-skip and Oracle
 //     comparison methods, all thin policies over the engine.
 //   - internal/experiments: one runner per paper table/figure, plus the
-//     multi-stream contention sweep (experiments.MultiStream) and the
-//     multi-device fleet grid (experiments.FleetSweep).
+//     multi-stream contention sweep (experiments.MultiStream), the
+//     multi-device fleet grid (experiments.FleetSweep) and the
+//     fault-tolerance grid (experiments.FaultSweep).
 //   - cmd/: shiftsim, characterize, sweep, figures, bench, render, report,
 //     fleetsim.
 //   - examples/: quickstart, dronechase, energybudget, customzoo, livefeed,

@@ -236,6 +236,19 @@ func NewSoC(procs []*Proc, pools []*MemPool, r *rng.Stream) *SoC {
 	return s
 }
 
+// SetTimeScale replaces the latency multiplier applied to every subsequent
+// execution (already-queued work keeps its drawn spans). The fleet layer uses
+// it for heterogeneous device capacity and for transient brownouts — latency
+// spikes that scale a device's service rate mid-run. Non-positive scales are
+// rejected so a malformed fault schedule cannot stop or reverse time.
+func (s *SoC) SetTimeScale(scale float64) error {
+	if scale <= 0 {
+		return fmt.Errorf("accel: non-positive time scale %v", scale)
+	}
+	s.TimeScale = scale
+	return nil
+}
+
 // Proc returns the processor with the given ID.
 func (s *SoC) Proc(id string) (*Proc, error) {
 	p, ok := s.Procs[id]

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/scene"
+)
+
+// quickFaultSweepConfig keeps the grid small enough for unit tests: a short
+// workload on two devices, one fault-free and one heavily faulted rate.
+func quickFaultSweepConfig() FaultSweepConfig {
+	adm := fleet.DefaultAdmission()
+	wl := fleet.WorkloadConfig{
+		Seed: 1, Streams: 6, RatePerSec: 0.5, PeriodSec: 0.1,
+		MinFrames: 120, MaxFrames: 240,
+		Scenarios: []*scene.Scenario{scene.Scenario2()},
+	}
+	fcfg := fleet.DefaultFaultConfig()
+	fcfg.Horizon = FaultHorizonFor(wl)
+	fcfg.MeanOutageSec = 3
+	return FaultSweepConfig{
+		RatesPerMin: []float64{0, 20},
+		Placements:  []string{"residency-affinity"},
+		Devices:     2,
+		Workload:    wl,
+		Admission:   &adm,
+		Fault:       fcfg,
+	}
+}
+
+// TestFaultSweepRecoversAndStaysClean pins the acceptance criterion: with a
+// positive failure rate the sweep reports at least one successful migration,
+// zero aborted-by-accounting anomalies (served + aborted + rejected ==
+// offered), and zero leaked residency references — while the rate-0 row
+// reports no recovery activity at all.
+func TestFaultSweepRecoversAndStaysClean(t *testing.T) {
+	env, err := Shared()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := FaultSweep(env, quickFaultSweepConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, ok := res.Row(0, "residency-affinity")
+	if !ok {
+		t.Fatal("missing fault-free row")
+	}
+	if clean.Migrations != 0 || clean.Aborted != 0 || clean.Faults != 0 || clean.PostFaultP99 != 0 {
+		t.Fatalf("fault-free row reports recovery activity: %+v", clean)
+	}
+	faulted, ok := res.Row(20, "residency-affinity")
+	if !ok {
+		t.Fatal("missing faulted row")
+	}
+	if faulted.Faults == 0 {
+		t.Fatal("faulted row saw no faults; raise the rate or horizon")
+	}
+	if faulted.Migrations < 1 {
+		t.Fatalf("faulted row reports %d migrations, want >= 1", faulted.Migrations)
+	}
+	if faulted.LeakedRefs != 0 {
+		t.Fatalf("faulted row leaked %d residency refs", faulted.LeakedRefs)
+	}
+	if got := faulted.Served + faulted.Aborted + faulted.Rejected; got != faulted.Offered {
+		t.Fatalf("stream accounting: served %d + aborted %d + rejected %d != offered %d",
+			faulted.Served, faulted.Aborted, faulted.Rejected, faulted.Offered)
+	}
+	// Every stream that produced frames is accounted with monotone timings.
+	if faulted.Frames == 0 {
+		t.Fatal("faulted row served no frames")
+	}
+	if faulted.AvgDowntimeSec < 0 {
+		t.Fatalf("negative mean downtime %v", faulted.AvgDowntimeSec)
+	}
+	if report := res.Report(); len(report) == 0 {
+		t.Fatal("empty report")
+	}
+}
+
+// TestFaultSweepFaultFreeMatchesUnfaultedFleet: the rate-0 row must be
+// bit-identical to the same fleet run through the fault-free entry point —
+// the acceptance criterion that fault machinery costs nothing when idle.
+func TestFaultSweepFaultFreeMatchesUnfaultedFleet(t *testing.T) {
+	env, err := Shared()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickFaultSweepConfig()
+	cfg.RatesPerMin = []float64{0}
+	a, err := FaultSweep(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FaultSweep(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := a.Rows[0]
+	rb := b.Rows[0]
+	if ra.Summary != rb.Summary {
+		t.Fatalf("fault-free rows differ across runs:\n%+v\n%+v", ra.Summary, rb.Summary)
+	}
+}

@@ -24,6 +24,17 @@ func runSeededWorkload(t *testing.T, devices []DeviceConfig, placement string) *
 	if err != nil {
 		t.Fatal(err)
 	}
+	res, err := f.Run(seededRequests(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// seededRequests generates the 8-stream seed-7 workload the determinism and
+// fault-free-identity tests share.
+func seededRequests(t *testing.T) []StreamRequest {
+	t.Helper()
 	cfg := WorkloadConfig{
 		Seed: 7, Streams: 8, RatePerSec: 0.5, PeriodSec: 0.1,
 		MinFrames: 30, MaxFrames: 60,
@@ -35,11 +46,7 @@ func runSeededWorkload(t *testing.T, devices []DeviceConfig, placement string) *
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := f.Run(reqs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return res
+	return reqs
 }
 
 // compareRuns asserts two fleet runs are identical stream by stream: same
@@ -52,8 +59,15 @@ func compareRuns(t *testing.T, a, b *Result, label string) {
 	for i := range a.Outcomes {
 		oa, ob := a.Outcomes[i], b.Outcomes[i]
 		if oa.Name != ob.Name || oa.Rejected != ob.Rejected || oa.Device != ob.Device ||
-			oa.Arrival != ob.Arrival || oa.AdmittedAt != ob.AdmittedAt {
+			oa.Arrival != ob.Arrival || oa.AdmittedAt != ob.AdmittedAt ||
+			oa.Aborted != ob.Aborted || oa.Migrations != ob.Migrations ||
+			oa.DowntimeSec != ob.DowntimeSec || len(oa.Devices) != len(ob.Devices) {
 			t.Fatalf("%s: outcome %d differs:\n%+v\n%+v", label, i, oa, ob)
+		}
+		for j := range oa.Devices {
+			if oa.Devices[j] != ob.Devices[j] {
+				t.Fatalf("%s: outcome %d serving path differs: %v vs %v", label, i, oa.Devices, ob.Devices)
+			}
 		}
 		if oa.Rejected {
 			continue

@@ -1,18 +1,21 @@
 // Package fleet is the multi-device serving layer of the reproduction: K
 // virtual Xavier-NX-class devices (each a zoo.System + loader.Loader pair,
 // with heterogeneous capacities via per-device accel time scales), a
-// dispatcher with pluggable placement policies, and an admission gate that
-// rejects or queues streams past a per-device concurrency budget.
+// dispatcher with pluggable placement policies, an admission gate that
+// rejects or queues streams past a per-device concurrency budget, and a
+// seeded fault injector (outages, deaths, brownouts) with session
+// checkpoint/migration so streams survive device failures.
 //
 // Where the paper schedules within one diversely heterogeneous device
 // (which model, which accelerator, per frame), the fleet schedules across
 // devices: which device serves a newly arriving stream, given model
 // residency, queue depth and heterogeneous speed. The simulation reuses the
 // deterministic discrete-event idiom of runtime.Serve — one global event
-// loop interleaving stream arrivals, per-frame steps and departures in
-// virtual-time order — so a fleet run is bit-replayable regardless of host
-// core count, and a single-device fleet with one statically admitted stream
-// reproduces runtime.Serve (and therefore the solo engine) bit-for-bit.
+// loop interleaving stream arrivals, per-frame steps, departures and fault
+// edges in virtual-time order — so a fleet run is bit-replayable regardless
+// of host core count, and a single-device fleet with one statically admitted
+// stream reproduces runtime.Serve (and therefore the solo engine)
+// bit-for-bit.
 package fleet
 
 import (
@@ -30,7 +33,10 @@ import (
 
 // PolicyFactory builds one stream's per-frame decision logic against the
 // device the stream lands on. Policies are stateful, so the dispatcher calls
-// the factory once per admitted stream.
+// the factory once per admitted stream — and once more per migration, since a
+// migrated stream needs a fresh instance bound to its new device (the old
+// instance's checkpointed state is restored into it when the policy is a
+// runtime.PortablePolicy).
 type PolicyFactory func(sys *zoo.System) (runtime.Policy, error)
 
 // StreamRequest is one stream offered to the fleet.
@@ -78,11 +84,30 @@ type Device struct {
 	served   int
 	frames   int
 	horizon  time.Duration
+
+	// Failure state: a down device is excluded from placement; dead means
+	// permanently. downSince/downSec meter unavailability, displaced counts
+	// streams checkpointed away by faults, and brownouts lists the currently
+	// active brownout faults — overlapping brownouts compound, and each
+	// recovery removes exactly its own fault, so the time scale returns to
+	// the exact base only when the last one ends.
+	down      bool
+	dead      bool
+	downSince time.Duration
+	downSec   time.Duration
+	displaced int
+	brownouts []Fault
 }
 
 // ActiveStreams returns the number of streams currently admitted to the
 // device.
 func (d *Device) ActiveStreams() int { return len(d.sessions) }
+
+// Down reports whether the device is currently unavailable (outage or death).
+func (d *Device) Down() bool { return d.down }
+
+// Dead reports whether the device failed permanently.
+func (d *Device) Dead() bool { return d.dead }
 
 // OutstandingFrames returns the total frames not yet served across the
 // device's active streams — the dispatcher's queue-depth signal.
@@ -111,6 +136,24 @@ type activeSession struct {
 	dev  *Device
 	out  *StreamOutcome
 	seq  int // admission order, the within-device event tie-break
+	// req is retained for migration: a displaced stream rebuilds its policy
+	// on the target device through the request's factory.
+	req *StreamRequest
+	// prevRecords is how many records the stream carried when it landed on
+	// this device, so per-device frame totals credit each device with only
+	// the frames it actually served.
+	prevRecords int
+}
+
+// pending is one stream waiting for admission: a new arrival, or a displaced
+// stream carrying its checkpoint (snap != nil) after a device fault.
+type pending struct {
+	out *StreamOutcome
+	req *StreamRequest
+	// snap is the session checkpoint of a displaced stream; since is when its
+	// device failed (downtime accrues until re-admission).
+	snap  *runtime.SessionSnapshot
+	since time.Duration
 }
 
 // Admission is the fleet's concurrency gate.
@@ -121,6 +164,8 @@ type Admission struct {
 	PerDeviceStreams int
 	// QueueLimit bounds the fleet-wide waiting room used when every device
 	// is at budget: 0 rejects immediately, negative queues without bound.
+	// Displaced streams bypass the limit — they were already admitted once
+	// and re-queue ahead of new arrivals.
 	QueueLimit int
 }
 
@@ -166,8 +211,9 @@ type Fleet struct {
 	// affinity is the dispatcher's learned residency model: for each
 	// scenario, the (model, kind) engines streams of that scenario ended up
 	// serving from, keyed by "model/kind" with a representative pair as
-	// value. Completed streams teach it; the residency-affinity placement
-	// reads it.
+	// value. Completed streams teach it — and displaced streams teach it
+	// their partial working set at fault time, so the residency-affinity
+	// placement re-learns where a migrating scenario's engines live.
 	affinity map[string]map[string]zoo.Pair
 	seq      int
 }
@@ -211,7 +257,9 @@ func New(cfg Config) (*Fleet, error) {
 			devSeed = DeriveSeed(cfg.Seed, dc.Name)
 		}
 		sys := newSystem(devSeed)
-		sys.SoC.TimeScale = scale
+		if err := sys.SoC.SetTimeScale(scale); err != nil {
+			return nil, fmt.Errorf("fleet: device %q: %w", dc.Name, err)
+		}
 		f.devices = append(f.devices, &Device{
 			Name:  dc.Name,
 			Scale: scale,
@@ -246,15 +294,24 @@ func (f *Fleet) Affinity(scenario string) []zoo.Pair {
 type StreamOutcome struct {
 	Name     string
 	Scenario string
-	// Device is the serving device's name (empty when rejected).
+	// Device is the serving device's name — the last one, when the stream
+	// migrated (empty when rejected). Devices lists the full serving path.
 	Device  string
+	Devices []string
 	Arrival time.Duration
 	// AdmittedAt is when the stream started being served — its arrival, or
 	// later when it sat in the admission queue.
 	AdmittedAt time.Duration
 	// Rejected marks streams the admission gate turned away.
-	Rejected  bool
-	PeriodSec float64
+	Rejected bool
+	// Aborted marks streams displaced by a fault that could never resume
+	// (every remaining device down); Stream then holds the partial records.
+	Aborted bool
+	// Migrations counts device moves after faults; DowntimeSec is the total
+	// time the stream spent displaced, waiting to resume.
+	Migrations  int
+	DowntimeSec float64
+	PeriodSec   float64
 	// Stream holds the per-frame records and timings (nil when rejected).
 	Stream *runtime.StreamResult
 }
@@ -278,6 +335,15 @@ type DeviceStats struct {
 	// processor over the fleet horizon; PeakProc names it.
 	Utilization float64
 	PeakProc    string
+	// DownSec is the device's total unavailable time within the horizon;
+	// Dead marks permanent failure; Displaced counts streams checkpointed
+	// away by faults.
+	DownSec   float64
+	Dead      bool
+	Displaced int
+	// LeakedRefs is the residency references still held at end of run —
+	// always zero unless migration bookkeeping is broken.
+	LeakedRefs int
 }
 
 // Result is one fleet run.
@@ -288,21 +354,44 @@ type Result struct {
 	Devices []DeviceStats
 	// Horizon is the makespan: the latest stream completion.
 	Horizon time.Duration
-	// Offered, Served and Rejected count streams.
-	Offered  int
-	Served   int
-	Rejected int
+	// Offered, Served, Rejected and Aborted count streams; Migrations counts
+	// successful post-fault device moves.
+	Offered    int
+	Served     int
+	Rejected   int
+	Aborted    int
+	Migrations int
+	// Faults is the schedule the run was injected with (nil when fault-free).
+	Faults []Fault
 }
 
 // Run serves the offered streams to completion on the fleet's global
-// deterministic event loop. At every iteration the earliest event is
-// processed: a stream departure (frees its admission slot, may drain the
-// queue), a stream arrival (admission + placement), or the earliest-ready
-// frame step across all devices. Ties resolve departure < arrival < step,
-// then device name, then admission order — every tie-break keys on names and
-// sequence numbers, never on slice order or map iteration, so identical
-// configs replay bit-for-bit.
+// deterministic event loop, fault-free.
 func (f *Fleet) Run(reqs []StreamRequest) (*Result, error) {
+	return f.RunWithFaults(reqs, nil)
+}
+
+// RunWithFaults is Run with a fault schedule injected as first-class events.
+// At every iteration the earliest event is processed: a stream departure
+// (frees its admission slot, may drain the queue), a fault edge (onset or
+// recovery), a stream arrival (admission + placement), or the earliest-ready
+// frame step across all devices. Ties resolve departure < fault < arrival <
+// step, then device name, then admission order — every tie-break keys on
+// names and sequence numbers, never on slice order or map iteration, so
+// identical configs replay bit-for-bit, and an empty schedule is bit-identical
+// to Run.
+//
+// On an outage or death, the device's in-flight streams are checkpointed
+// (runtime.Session.Snapshot), their residency holds released, and the
+// checkpoints re-queued ahead of new arrivals; they resume on healthy devices
+// through runtime.RestoreSession, carrying records, deadline accounting and
+// scheduler state across the move. A brownout leaves streams in place and
+// scales the device's execution latency until recovery.
+func (f *Fleet) RunWithFaults(reqs []StreamRequest, faults []Fault) (*Result, error) {
+	fevs, err := f.expandFaults(faults)
+	if err != nil {
+		return nil, err
+	}
 	order := make([]int, len(reqs))
 	for i := range order {
 		order[i] = i
@@ -314,12 +403,12 @@ func (f *Fleet) Run(reqs []StreamRequest) (*Result, error) {
 		}
 		return ra.Name < rb.Name
 	})
-	res := &Result{Offered: len(reqs)}
+	res := &Result{Offered: len(reqs), Faults: faults}
 	outcomes := make([]*StreamOutcome, 0, len(reqs))
 
 	next := 0 // index into order: next unprocessed arrival
-	var queue []*StreamOutcome
-	waiting := map[*StreamOutcome]*StreamRequest{}
+	fi := 0   // index into fevs: next unprocessed fault edge
+	var queue []*pending
 
 	fail := func(err error) (*Result, error) {
 		for _, d := range f.devices {
@@ -352,17 +441,29 @@ func (f *Fleet) Run(reqs []StreamRequest) (*Result, error) {
 		if haveArr {
 			arrAt = reqs[order[next]].Arrival
 		}
+		var faultAt time.Duration
+		haveFault := fi < len(fevs)
+		if haveFault {
+			faultAt = fevs[fi].at
+		}
 
 		switch {
-		case dep != nil && (!haveArr || depAt <= arrAt) && (step == nil || depAt <= stepAt):
+		case dep != nil && (!haveFault || depAt <= faultAt) && (!haveArr || depAt <= arrAt) && (step == nil || depAt <= stepAt):
 			f.depart(dep)
-			if err := f.drainQueue(&queue, waiting, depAt); err != nil {
+			if err := f.drainQueue(&queue, depAt); err != nil {
+				return fail(err)
+			}
+		case haveFault && (!haveArr || faultAt <= arrAt) && (step == nil || faultAt <= stepAt):
+			ev := fevs[fi]
+			fi++
+			f.applyFault(ev, &queue)
+			if err := f.drainQueue(&queue, ev.at); err != nil {
 				return fail(err)
 			}
 		case haveArr && (step == nil || arrAt <= stepAt):
 			req := &reqs[order[next]]
 			next++
-			out, err := f.arrive(req, arrAt, &queue, waiting)
+			out, err := f.arrive(req, arrAt, &queue)
 			if err != nil {
 				return fail(err)
 			}
@@ -372,11 +473,17 @@ func (f *Fleet) Run(reqs []StreamRequest) (*Result, error) {
 				return fail(err)
 			}
 		default:
-			// No departures, arrivals or steppable sessions left; anything
-			// still queued can never be admitted (all arrivals processed,
-			// no active streams to free slots) — reject it.
-			for _, out := range queue {
-				out.Rejected = true
+			// No departures, fault edges, arrivals or steppable sessions
+			// left; anything still queued can never be admitted — reject new
+			// arrivals, abort displaced streams (keeping their partial
+			// results).
+			for _, p := range queue {
+				if p.snap != nil {
+					p.out.Aborted = true
+					p.out.Stream = p.snap.Partial()
+				} else {
+					p.out.Rejected = true
+				}
 			}
 			queue = nil
 			goto done
@@ -384,15 +491,19 @@ func (f *Fleet) Run(reqs []StreamRequest) (*Result, error) {
 	}
 done:
 	for _, out := range outcomes {
-		if out.Rejected {
+		switch {
+		case out.Rejected:
 			res.Rejected++
-		} else {
+		case out.Aborted:
+			res.Aborted++
+		default:
 			res.Served++
-			if out.Stream != nil {
-				for _, tm := range out.Stream.Timings {
-					if tm.Done > res.Horizon {
-						res.Horizon = tm.Done
-					}
+		}
+		res.Migrations += out.Migrations
+		if !out.Rejected && out.Stream != nil {
+			for _, tm := range out.Stream.Timings {
+				if tm.Done > res.Horizon {
+					res.Horizon = tm.Done
 				}
 			}
 		}
@@ -404,8 +515,98 @@ done:
 	return res, nil
 }
 
+// applyFault processes one fault edge. Durations and factors were validated
+// by expandFaults, so edges cannot fail mid-run.
+func (f *Fleet) applyFault(ev faultEvent, queue *[]*pending) {
+	d := f.device(ev.fault.Device)
+	switch ev.fault.Kind {
+	case FaultBrownout:
+		if d.dead {
+			return
+		}
+		if ev.recovery {
+			for i, bf := range d.brownouts {
+				if bf == ev.fault {
+					d.brownouts = append(d.brownouts[:i], d.brownouts[i+1:]...)
+					break
+				}
+			}
+		} else {
+			d.brownouts = append(d.brownouts, ev.fault)
+		}
+		// Recompute from the base so overlapping brownouts compound while
+		// active and the scale returns to exactly d.Scale once all recover.
+		scale := d.Scale
+		for _, bf := range d.brownouts {
+			scale *= bf.Factor
+		}
+		// Validated positive; only a harness bug could fail here.
+		if err := d.Sys.SoC.SetTimeScale(scale); err != nil {
+			panic(err)
+		}
+	case FaultOutage, FaultDeath:
+		if ev.recovery {
+			// Outage over: the device rejoins placement (deaths never
+			// recover, and overlapping outages do not extend each other —
+			// the earliest recovery wins).
+			if !d.dead && d.down {
+				d.down = false
+				d.downSec += ev.at - d.downSince
+			}
+			return
+		}
+		if d.dead {
+			return
+		}
+		if ev.fault.Kind == FaultDeath {
+			d.dead = true
+		}
+		if !d.down {
+			d.down = true
+			d.downSince = ev.at
+			f.displace(d, ev.at, queue)
+		}
+	}
+}
+
+// displace checkpoints every in-flight stream on a failed device, releases
+// its residency holds, frees its admission slots, and re-queues the
+// checkpoints ahead of new arrivals (behind earlier displacements), in
+// admission order. The partial records teach the affinity model so
+// residency-affinity placement re-learns the scenario's working set before
+// the stream is re-placed.
+func (f *Fleet) displace(d *Device, at time.Duration, queue *[]*pending) {
+	if len(d.sessions) == 0 {
+		return
+	}
+	moved := make([]*pending, 0, len(d.sessions))
+	for _, as := range d.sessions {
+		snap := as.sess.Snapshot()
+		// Credit the failed device with the frames it actually served, and
+		// keep its horizon covering that work for utilization accounting.
+		d.frames += snap.Served() - as.prevRecords
+		if h := as.sess.Horizon(); h > d.horizon {
+			d.horizon = h
+		}
+		// A checkpointed fixed-cursor session cannot fail to release.
+		_ = as.sess.Close()
+		f.teach(as.out.Scenario, snap.Partial().Result.Records)
+		d.displaced++
+		moved = append(moved, &pending{out: as.out, req: as.req, snap: snap, since: at})
+	}
+	// Displaced streams must stop consuming the device's budget slots — a
+	// stream waiting in the admission queue holds no slot anywhere.
+	d.sessions = d.sessions[:0]
+	i := 0
+	for i < len(*queue) && (*queue)[i].snap != nil {
+		i++
+	}
+	rest := append(moved, (*queue)[i:]...)
+	*queue = append((*queue)[:i], rest...)
+}
+
 // arrive runs admission + placement for one offered stream.
-func (f *Fleet) arrive(req *StreamRequest, at time.Duration, queue *[]*StreamOutcome, waiting map[*StreamOutcome]*StreamRequest) (*StreamOutcome, error) {
+func (f *Fleet) arrive(req *StreamRequest, at time.Duration, queue *[]*pending) (*StreamOutcome, error) {
 	out := &StreamOutcome{
 		Name:      req.Name,
 		Scenario:  req.Scenario,
@@ -414,24 +615,36 @@ func (f *Fleet) arrive(req *StreamRequest, at time.Duration, queue *[]*StreamOut
 	}
 	cands := f.candidates()
 	if len(cands) == 0 {
-		if f.adm.QueueLimit < 0 || len(*queue) < f.adm.QueueLimit {
-			*queue = append(*queue, out)
-			waiting[out] = req
+		// Only fellow arrivals count against the waiting room: displaced
+		// streams bypass the limit and must not consume it for newcomers.
+		waitingNew := 0
+		for _, p := range *queue {
+			if p.snap == nil {
+				waitingNew++
+			}
+		}
+		if f.adm.QueueLimit < 0 || waitingNew < f.adm.QueueLimit {
+			*queue = append(*queue, &pending{out: out, req: req})
 		} else {
 			out.Rejected = true
 		}
 		return out, nil
 	}
-	if err := f.admit(req, out, at, cands); err != nil {
+	if err := f.admit(&pending{out: out, req: req}, at, cands); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-// candidates returns the devices with admission headroom, in name order.
+// candidates returns the available devices with admission headroom, in name
+// order. Down devices (outage or death) are excluded — failure-aware
+// placement starts here.
 func (f *Fleet) candidates() []*Device {
 	var cands []*Device
 	for _, d := range f.devices {
+		if d.down {
+			continue
+		}
 		if f.adm.PerDeviceStreams > 0 && len(d.sessions) >= f.adm.PerDeviceStreams {
 			continue
 		}
@@ -440,8 +653,11 @@ func (f *Fleet) candidates() []*Device {
 	return cands
 }
 
-// admit places a stream on a device and opens its serving session at time at.
-func (f *Fleet) admit(req *StreamRequest, out *StreamOutcome, at time.Duration, cands []*Device) error {
+// admit places a pending stream on a device at time at: a fresh session for a
+// new arrival, or a restored one (checkpoint + re-acquired residency) for a
+// displaced stream.
+func (f *Fleet) admit(p *pending, at time.Duration, cands []*Device) error {
+	req, out := p.req, p.out
 	dev := f.place.Pick(f, req, cands)
 	if dev == nil {
 		return fmt.Errorf("fleet: placement %s picked no device for %s", f.place.Name(), req.Name)
@@ -453,19 +669,34 @@ func (f *Fleet) admit(req *StreamRequest, out *StreamOutcome, at time.Duration, 
 	if err != nil {
 		return fmt.Errorf("fleet: build policy for %s on %s: %w", req.Name, dev.Name, err)
 	}
-	sess, err := runtime.OpenSessionAt(dev.Sys, dev.DML, runtime.StreamSpec{
-		Name:      req.Name,
-		Frames:    req.Frames,
-		PeriodSec: req.PeriodSec,
-		Policy:    pol,
-	}, at)
-	if err != nil {
-		return fmt.Errorf("fleet: open %s on %s: %w", req.Name, dev.Name, err)
+	var sess *runtime.Session
+	carried := 0
+	if p.snap != nil {
+		sess, err = runtime.RestoreSession(dev.Sys, dev.DML, p.snap, pol, at)
+		if err != nil {
+			return fmt.Errorf("fleet: migrate %s to %s: %w", req.Name, dev.Name, err)
+		}
+		carried = p.snap.Served()
+		out.Migrations++
+		out.DowntimeSec += (at - p.since).Seconds()
+	} else {
+		sess, err = runtime.OpenSessionAt(dev.Sys, dev.DML, runtime.StreamSpec{
+			Name:      req.Name,
+			Frames:    req.Frames,
+			PeriodSec: req.PeriodSec,
+			Policy:    pol,
+		}, at)
+		if err != nil {
+			return fmt.Errorf("fleet: open %s on %s: %w", req.Name, dev.Name, err)
+		}
+		out.AdmittedAt = at
 	}
 	out.Device = dev.Name
-	out.AdmittedAt = at
+	out.Devices = append(out.Devices, dev.Name)
 	f.seq++
-	dev.sessions = append(dev.sessions, &activeSession{sess: sess, dev: dev, out: out, seq: f.seq})
+	dev.sessions = append(dev.sessions, &activeSession{
+		sess: sess, dev: dev, out: out, seq: f.seq, req: req, prevRecords: carried,
+	})
 	return nil
 }
 
@@ -483,35 +714,41 @@ func (f *Fleet) depart(as *activeSession) {
 	sr := as.sess.Result()
 	as.out.Stream = sr
 	d.served++
-	d.frames += len(sr.Result.Records)
+	d.frames += len(sr.Result.Records) - as.prevRecords
 	if h := as.sess.Horizon(); h > d.horizon {
 		d.horizon = h
 	}
-	if as.out.Scenario != "" {
-		m := f.affinity[as.out.Scenario]
-		if m == nil {
-			m = map[string]zoo.Pair{}
-			f.affinity[as.out.Scenario] = m
-		}
-		for _, rec := range sr.Result.Records {
-			m[rec.Pair.Model+"/"+rec.Pair.Kind.String()] = rec.Pair
-		}
+	f.teach(as.out.Scenario, sr.Result.Records)
+}
+
+// teach folds served records into the affinity model's per-scenario engine
+// working set.
+func (f *Fleet) teach(scenario string, recs []runtime.FrameRecord) {
+	if scenario == "" || len(recs) == 0 {
+		return
+	}
+	m := f.affinity[scenario]
+	if m == nil {
+		m = map[string]zoo.Pair{}
+		f.affinity[scenario] = m
+	}
+	for _, rec := range recs {
+		m[rec.Pair.Model+"/"+rec.Pair.Kind.String()] = rec.Pair
 	}
 }
 
 // drainQueue admits waiting streams while capacity exists, at the drain
-// time (their cameras start when admitted, not while they wait).
-func (f *Fleet) drainQueue(queue *[]*StreamOutcome, waiting map[*StreamOutcome]*StreamRequest, at time.Duration) error {
+// time (their cameras start when admitted, not while they wait; displaced
+// streams resume their original camera schedule, accruing downtime instead).
+func (f *Fleet) drainQueue(queue *[]*pending, at time.Duration) error {
 	for len(*queue) > 0 {
 		cands := f.candidates()
 		if len(cands) == 0 {
 			return nil
 		}
-		out := (*queue)[0]
+		p := (*queue)[0]
 		*queue = (*queue)[1:]
-		req := waiting[out]
-		delete(waiting, out)
-		if err := f.admit(req, out, at, cands); err != nil {
+		if err := f.admit(p, at, cands); err != nil {
 			return err
 		}
 	}
@@ -521,12 +758,19 @@ func (f *Fleet) drainQueue(queue *[]*StreamOutcome, waiting map[*StreamOutcome]*
 // deviceStats reduces one device's meters to its summary.
 func (f *Fleet) deviceStats(d *Device, horizon time.Duration) DeviceStats {
 	st := DeviceStats{
-		Name:    d.Name,
-		Scale:   d.Scale,
-		Streams: d.served,
-		Frames:  d.frames,
-		Loads:   d.DML.Stats().Loads,
-		Evicts:  d.DML.Stats().Evictions,
+		Name:       d.Name,
+		Scale:      d.Scale,
+		Streams:    d.served,
+		Frames:     d.frames,
+		Loads:      d.DML.Stats().Loads,
+		Evicts:     d.DML.Stats().Evictions,
+		Dead:       d.dead,
+		Displaced:  d.displaced,
+		LeakedRefs: d.DML.TotalRefs(),
+	}
+	st.DownSec = d.downSec.Seconds()
+	if d.down && horizon > d.downSince {
+		st.DownSec += (horizon - d.downSince).Seconds()
 	}
 	procs := make([]string, 0, len(d.Sys.SoC.Procs))
 	for id := range d.Sys.SoC.Procs {

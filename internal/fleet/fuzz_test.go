@@ -1,0 +1,94 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/detmodel"
+	"repro/internal/scene"
+)
+
+// FuzzFleetDeterminism is the fleet's simulation-testing entry point, in the
+// FoundationDB style: every input derives a seeded workload, fleet shape and
+// fault schedule, and the property checked is bit-identity — running the same
+// simulation twice must match exactly, and shuffling the device listing order
+// must change nothing, faults and migrations included. `go test` replays the
+// committed corpus under testdata/fuzz; `-fuzz` explores new schedules.
+func FuzzFleetDeterminism(f *testing.F) {
+	f.Add(uint64(1), uint64(1), uint64(2), uint64(4), true)
+	f.Add(uint64(7), uint64(3), uint64(3), uint64(6), true)
+	f.Add(uint64(42), uint64(0), uint64(1), uint64(2), false)
+	f.Fuzz(func(t *testing.T, wseed, fseed, ndev, nstreams uint64, faulty bool) {
+		devCount := int(ndev%3) + 1
+		streams := int(nstreams%6) + 1
+		scales := []float64{1, 1.25, 0.8}
+		devices := make([]DeviceConfig, devCount)
+		for i := range devices {
+			devices[i] = DeviceConfig{
+				Name:  "edge-" + string(rune('a'+i)),
+				Scale: scales[i%len(scales)],
+			}
+		}
+		cfg := WorkloadConfig{
+			Seed:       wseed,
+			Streams:    streams,
+			RatePerSec: 0.5,
+			PeriodSec:  0.1,
+			MinFrames:  10,
+			MaxFrames:  40,
+			Scenarios:  []*scene.Scenario{scene.Scenario2()},
+		}
+		reqs, err := GenerateWorkload(cfg,
+			func(*scene.Scenario) []scene.Frame { return testFrames(t) },
+			fixedFactory(detmodel.YoloV7Tiny, "gpu"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var faults []Fault
+		if faulty {
+			names := make([]string, len(devices))
+			for i, d := range devices {
+				names[i] = d.Name
+			}
+			fcfg := DefaultFaultConfig()
+			fcfg.Seed = fseed
+			fcfg.RatePerSec = 0.1
+			fcfg.Horizon = 45 * time.Second
+			fcfg.MeanOutageSec = 4
+			faults, err = GenerateFaults(fcfg, names)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		run := func(devs []DeviceConfig) *Result {
+			fl, err := New(Config{
+				Seed:      wseed,
+				Devices:   devs,
+				Placement: NewResidencyAffinity(),
+				Admission: Admission{PerDeviceStreams: 2, QueueLimit: 3},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := fl.RunWithFaults(reqs, faults)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range fl.Devices() {
+				if n := d.DML.TotalRefs(); n != 0 {
+					t.Fatalf("device %s leaked %d residency refs", d.Name, n)
+				}
+			}
+			return res
+		}
+		a := run(devices)
+		b := run(devices)
+		compareRuns(t, a, b, "repeat")
+		shuffled := make([]DeviceConfig, devCount)
+		for i := range devices {
+			shuffled[(i+1)%devCount] = devices[i]
+		}
+		c := run(shuffled)
+		compareRuns(t, a, c, "shuffled-devices")
+	})
+}

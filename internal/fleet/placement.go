@@ -8,8 +8,10 @@ import (
 
 // Placement chooses the serving device for an admitted stream. The
 // dispatcher hands it the devices with admission headroom, in name order and
-// never empty; implementations must be deterministic — tie-breaks key on
-// device names or the given candidate order, never on map iteration.
+// never empty — down devices (outage or death) are already excluded, so
+// policies are failure-aware for free; implementations must be deterministic
+// — tie-breaks key on device names or the given candidate order, never on
+// map iteration.
 type Placement interface {
 	// Name identifies the policy in reports.
 	Name() string

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/textplot"
@@ -28,13 +29,39 @@ type Summary struct {
 	// the mean per-device peak-processor busy fraction.
 	Loads, Evictions int
 	AvgUtilization   float64
+
+	// Recovery metrics (zero on fault-free runs). Migrations counts
+	// successful post-fault device moves and Aborted the displaced streams
+	// that never resumed; AvgDowntimeSec is the mean displacement-to-resume
+	// wait per migration. PostFaultP99 is the p99 frame latency restricted
+	// to frames completed at or after the first fault onset — the tail the
+	// fleet serves while absorbing failures. LeakedRefs sums residency
+	// references still held after the run (always zero unless migration
+	// bookkeeping is broken).
+	Migrations     int
+	Aborted        int
+	AvgDowntimeSec float64
+	PostFaultP99   float64
+	LeakedRefs     int
 }
 
 // Summarize reduces a fleet result.
 func Summarize(res *Result) Summary {
-	s := Summary{Offered: res.Offered, Served: res.Served, Rejected: res.Rejected}
-	var lats []float64
-	var iouSum, delaySum float64
+	s := Summary{
+		Offered:    res.Offered,
+		Served:     res.Served,
+		Rejected:   res.Rejected,
+		Aborted:    res.Aborted,
+		Migrations: res.Migrations,
+	}
+	firstFault := time.Duration(-1)
+	for _, ft := range res.Faults {
+		if firstFault < 0 || ft.At < firstFault {
+			firstFault = ft.At
+		}
+	}
+	var lats, postLats []float64
+	var iouSum, delaySum, downSum float64
 	success, missed, admitted := 0, 0, 0
 	for _, out := range res.Outcomes {
 		if out.Rejected || out.Stream == nil {
@@ -42,8 +69,16 @@ func Summarize(res *Result) Summary {
 		}
 		admitted++
 		delaySum += out.QueueDelaySec()
+		downSum += out.DowntimeSec
 		lats = append(lats, out.Stream.Latencies()...)
 		missed += out.Stream.MissCount()
+		if firstFault >= 0 {
+			for _, tm := range out.Stream.Timings {
+				if tm.Done >= firstFault {
+					postLats = append(postLats, tm.LatencySec())
+				}
+			}
+		}
 		for _, rec := range out.Stream.Result.Records {
 			iouSum += rec.IoU
 			if rec.IoU >= metrics.SuccessIoU {
@@ -61,14 +96,21 @@ func Summarize(res *Result) Summary {
 	if admitted > 0 {
 		s.AvgQueueDelaySec = delaySum / float64(admitted)
 	}
+	if res.Migrations > 0 {
+		s.AvgDowntimeSec = downSum / float64(res.Migrations)
+	}
 	if res.Offered > 0 {
 		s.RejectRate = float64(res.Rejected) / float64(res.Offered)
 	}
 	s.Latency = metrics.Latencies(lats)
+	if len(postLats) > 0 {
+		s.PostFaultP99 = metrics.Latencies(postLats).P99
+	}
 	var utilSum float64
 	for _, d := range res.Devices {
 		s.Loads += d.Loads
 		s.Evictions += d.Evicts
+		s.LeakedRefs += d.LeakedRefs
 		utilSum += d.Utilization
 	}
 	if len(res.Devices) > 0 {
@@ -78,20 +120,25 @@ func Summarize(res *Result) Summary {
 }
 
 // Report renders a fleet run: per-device table plus the utilization gauge
-// plot.
+// plot, with a recovery line when the run was fault-injected.
 func Report(res *Result) string {
-	rows := [][]string{{"Device", "Scale", "Streams", "Frames", "Loads", "Evictions", "Busy (s)", "Peak Util", "Peak Proc"}}
+	rows := [][]string{{"Device", "Scale", "Streams", "Frames", "Loads", "Evictions", "Busy (s)", "Down (s)", "Peak Util", "Peak Proc"}}
 	labels := make([]string, 0, len(res.Devices))
 	utils := make([]float64, 0, len(res.Devices))
 	for _, d := range res.Devices {
+		name := d.Name
+		if d.Dead {
+			name += " †"
+		}
 		rows = append(rows, []string{
-			d.Name,
+			name,
 			fmt.Sprintf("%.2f", d.Scale),
 			fmt.Sprintf("%d", d.Streams),
 			fmt.Sprintf("%d", d.Frames),
 			fmt.Sprintf("%d", d.Loads),
 			fmt.Sprintf("%d", d.Evicts),
 			fmt.Sprintf("%.1f", d.BusySec),
+			fmt.Sprintf("%.1f", d.DownSec),
 			fmt.Sprintf("%.1f%%", d.Utilization*100),
 			d.PeakProc,
 		})
@@ -103,6 +150,11 @@ func Report(res *Result) string {
 		"Fleet: %d offered, %d served, %d rejected | IoU %.3f | p50 %.3fs p99 %.3fs | miss %.1f%% | horizon %.1fs",
 		sum.Offered, sum.Served, sum.Rejected, sum.AvgIoU,
 		sum.Latency.P50, sum.Latency.P99, sum.DeadlineMissRate*100, res.Horizon.Seconds())
+	if len(res.Faults) > 0 {
+		head += fmt.Sprintf(
+			"\nFaults: %d injected | %d migrations, %d aborted | mean downtime %.2fs | post-fault p99 %.3fs | leaked refs %d",
+			len(res.Faults), sum.Migrations, sum.Aborted, sum.AvgDowntimeSec, sum.PostFaultP99, sum.LeakedRefs)
+	}
 	return head + "\n\n" +
 		textplot.Table("Per-device serving totals", rows) + "\n" +
 		textplot.PercentBars("Peak-processor utilization over the fleet horizon", labels, utils, 40)

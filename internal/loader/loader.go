@@ -332,6 +332,19 @@ func (l *Loader) Refs(pair zoo.Pair) int {
 	return r.refs
 }
 
+// TotalRefs returns the residency references held across all pools. A clean
+// shutdown — every stream closed, including checkpointed and migrated ones —
+// leaves it at zero; the fleet layer reports it per device as the leak check.
+func (l *Loader) TotalRefs() int {
+	n := 0
+	for _, m := range l.resident {
+		for _, r := range m {
+			n += r.refs
+		}
+	}
+	return n
+}
+
 // ResidentFallback returns a deterministic warm substitute for a refused
 // load: an already-resident engine in the pool backing requested.ProcID,
 // preferring engines of the requested processor kind, then lexical key

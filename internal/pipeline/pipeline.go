@@ -172,6 +172,32 @@ func (p *shiftPolicy) Reset(e *runtime.Engine) error {
 	return nil
 }
 
+// shiftState is the portable per-stream state of a SHIFT policy: the
+// scheduler's decision state plus the active pair.
+type shiftState struct {
+	sched *sched.State
+	cur   zoo.Pair
+}
+
+// SnapshotState implements runtime.PortablePolicy: SHIFT's per-stream state is
+// the scheduler's momentum/NCC state and the pair serving the next frame.
+func (p *shiftPolicy) SnapshotState() any {
+	return &shiftState{sched: p.scheduler.Snapshot(), cur: p.cur}
+}
+
+// RestoreState implements runtime.PortablePolicy. It runs instead of Reset on
+// a migrated stream, so no start-of-stream prefetch is charged — the session
+// restore re-acquires residency explicitly.
+func (p *shiftPolicy) RestoreState(state any) error {
+	st, ok := state.(*shiftState)
+	if !ok {
+		return fmt.Errorf("pipeline: foreign policy state %T", state)
+	}
+	p.scheduler.Restore(st.sched)
+	p.cur = st.cur
+	return nil
+}
+
 // Step implements runtime.Policy: the paper's per-frame sequence.
 func (p *shiftPolicy) Step(st *runtime.Step) error {
 	// 1. Residency: load the active engine if needed. Under multi-stream

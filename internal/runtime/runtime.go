@@ -99,6 +99,24 @@ type Policy interface {
 	Step(st *Step) error
 }
 
+// PortablePolicy is optionally implemented by policies whose per-stream state
+// can be checkpointed and carried into another instance of the same policy —
+// the contract session migration needs. SnapshotState returns an opaque
+// checkpoint of everything the policy's future decisions depend on;
+// RestoreState installs one into a freshly built instance (typically on a
+// different device), replacing the fresh-stream state Reset would produce.
+// Policies that do not implement it migrate by Reset instead: correct, but the
+// stream re-learns its decision state from scratch.
+type PortablePolicy interface {
+	Policy
+	// SnapshotState captures the per-stream decision state.
+	SnapshotState() any
+	// RestoreState installs a checkpoint taken from another instance. It is
+	// called instead of Reset, so any start-of-stream platform charges Reset
+	// would issue are skipped — a migrated stream resumes, it does not restart.
+	RestoreState(state any) error
+}
+
 // Engine drives the shared per-frame loop for one stream. In solo mode it is
 // self-contained (own loader, global virtual clock); in served mode it is one
 // stream's view of a shared platform, with its own stream-local time and its

@@ -168,6 +168,144 @@ func (s *Session) Step() error {
 	return nil
 }
 
+// SessionSnapshot is a device-independent checkpoint of a serving session:
+// the stream spec and frame cursor, the camera schedule (so deadline
+// accounting survives a move), the records and timings accumulated so far, the
+// policy's portable decision state, and the residency manifest — which engine
+// the stream was holding when the checkpoint was taken. RestoreSession resumes
+// it on any device of an equivalent zoo.
+type SessionSnapshot struct {
+	spec StreamSpec
+	name string
+
+	next       int
+	base, done time.Duration
+	deadline   time.Duration
+	prev       zoo.Pair
+
+	records []FrameRecord
+	timings []FrameTiming
+
+	policyState any
+	held        zoo.Pair
+	haveHeld    bool
+}
+
+// Name returns the checkpointed stream's label.
+func (sn *SessionSnapshot) Name() string { return sn.name }
+
+// Remaining returns the number of frames the checkpointed stream has left.
+func (sn *SessionSnapshot) Remaining() int { return len(sn.spec.Frames) - sn.next }
+
+// Served returns the number of frames recorded up to the checkpoint.
+func (sn *SessionSnapshot) Served() int { return len(sn.records) }
+
+// Held returns the residency manifest: the engine the stream held at
+// checkpoint time, and whether it held one at all.
+func (sn *SessionSnapshot) Held() (zoo.Pair, bool) { return sn.held, sn.haveHeld }
+
+// Partial returns the records and timings served up to the checkpoint — the
+// stream's results when it can never be resumed (every device dead).
+func (sn *SessionSnapshot) Partial() *StreamResult {
+	return &StreamResult{
+		Name: sn.name,
+		Result: &Result{
+			Method:   sn.spec.Policy.Name(),
+			Scenario: sn.name,
+			Records:  sn.records,
+		},
+		Timings: sn.timings,
+	}
+}
+
+// Snapshot checkpoints the session between steps. The records and timings are
+// copied, and the policy's state is captured when it is a PortablePolicy
+// (otherwise a restored session re-learns from a policy Reset). The session
+// remains usable; a checkpoint is a fork point, not a close.
+func (s *Session) Snapshot() *SessionSnapshot {
+	sn := &SessionSnapshot{
+		spec:     s.spec,
+		name:     s.res.Name,
+		next:     s.next,
+		base:     s.base,
+		done:     s.done,
+		deadline: s.deadline,
+		prev:     s.prev,
+		records:  append([]FrameRecord(nil), s.res.Result.Records...),
+		timings:  append([]FrameTiming(nil), s.res.Timings...),
+		held:     s.eng.held,
+		haveHeld: s.eng.haveHeld,
+	}
+	if pp, ok := s.spec.Policy.(PortablePolicy); ok {
+		sn.policyState = pp.SnapshotState()
+	}
+	return sn
+}
+
+// RestoreSession resumes a checkpointed stream on sys/dml at virtual time at
+// (no earlier than the checkpoint's horizon): the frame cursor, camera
+// schedule and accumulated results carry over, so deadline accounting treats
+// the move as backlog, not as a fresh stream. pol must be a fresh policy
+// instance built against sys; when both it and the checkpointed policy are
+// portable the decision state is restored, otherwise pol.Reset runs and the
+// stream re-learns.
+//
+// The residency manifest is re-acquired through the refcounted loader: the
+// held engine is loaded (charged to the stream, queueing-aware) and
+// re-referenced before the first step. When the pool refuses the load
+// (loader.ErrNoMemory) the session resumes unheld and the first step's
+// Acquire applies the usual arbitration — warm-adopting a resident engine
+// rather than failing the stream. The caller must Close the returned session
+// on every path.
+func RestoreSession(sys *zoo.System, dml *loader.Loader, snap *SessionSnapshot, pol Policy, at time.Duration) (*Session, error) {
+	if pol == nil {
+		return nil, fmt.Errorf("runtime: restore stream %q with no policy", snap.name)
+	}
+	if at < snap.done {
+		at = snap.done
+	}
+	spec := snap.spec
+	spec.Policy = pol
+	s, err := newSession(sys, dml, spec, snap.name, at)
+	if err != nil {
+		return nil, err
+	}
+	s.base = snap.base
+	s.deadline = snap.deadline
+	s.next = snap.next
+	s.prev = snap.prev
+	s.res.Result.Records = append(s.res.Result.Records, snap.records...)
+	s.res.Timings = append(s.res.Timings, snap.timings...)
+	if pp, ok := pol.(PortablePolicy); ok && snap.policyState != nil {
+		if err := pp.RestoreState(snap.policyState); err != nil {
+			return nil, errors.Join(fmt.Errorf("runtime: restore stream %s: %w", snap.name, err), s.Close())
+		}
+	} else {
+		if err := s.start(); err != nil {
+			return nil, errors.Join(err, s.Close())
+		}
+	}
+	if snap.haveHeld {
+		// The load is charged through the engine's exec, so it queues on the
+		// new device and surfaces as pre-step backlog, like Reset's prefetch.
+		_, err := dml.EnsureWith(snap.held, s.eng.exec)
+		switch {
+		case errors.Is(err, loader.ErrNoMemory):
+			// Every candidate victim is held by other streams; resume unheld
+			// and let the first step's Acquire arbitrate.
+		case err != nil:
+			return nil, errors.Join(fmt.Errorf("runtime: restore stream %s: reacquire %v: %w", snap.name, snap.held, err), s.Close())
+		default:
+			if err := dml.Acquire(snap.held); err != nil {
+				return nil, errors.Join(fmt.Errorf("runtime: restore stream %s: %w", snap.name, err), s.Close())
+			}
+			s.eng.held, s.eng.haveHeld = snap.held, true
+		}
+	}
+	s.done = s.eng.at
+	return s, nil
+}
+
 // Close releases the session's residency hold so the shared pools end clean.
 // It is idempotent and must run on every path, including errors.
 func (s *Session) Close() error {

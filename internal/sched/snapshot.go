@@ -1,0 +1,72 @@
+package sched
+
+import "repro/internal/img"
+
+// State is a portable checkpoint of a scheduler's per-stream decision state:
+// the momentum buffers and averages, the NCC history (previous frame, previous
+// box crop and their cached pixel moments) and the crop double-buffer phase.
+// It is what session migration carries across devices — the decision state is
+// content-derived, never platform-derived, so a scheduler restored on another
+// device of the same zoo decides identically to the one it was taken from.
+//
+// Momentum entries are keyed by model name, not buffer index, so a snapshot
+// restores correctly into any scheduler built over the same zoo regardless of
+// interning order.
+type State struct {
+	models           []string
+	bufs             [][]float64
+	rVals            []float64
+	rSet             []bool
+	valid            []bool
+	lastImg          *img.Image
+	lastBox          *img.Image
+	imgSum, imgSumSq uint64
+	boxSum, boxSumSq uint64
+	boxFlip          int
+}
+
+// Snapshot captures the scheduler's per-stream decision state. The momentum
+// windows are deep-copied and the previous box crop is cloned (it aliases a
+// scratch buffer the live scheduler keeps rewriting); the previous frame image
+// is shared, since rendered frames are immutable.
+func (s *Scheduler) Snapshot() *State {
+	st := &State{
+		models:   append([]string(nil), s.modelNames...),
+		bufs:     make([][]float64, len(s.bufs)),
+		rVals:    append([]float64(nil), s.rVals...),
+		rSet:     append([]bool(nil), s.rSet...),
+		valid:    append([]bool(nil), s.valid...),
+		lastImg:  s.lastImg,
+		imgSum:   s.lastImgSum,
+		imgSumSq: s.lastImgSumSq,
+		boxSum:   s.lastBoxSum,
+		boxSumSq: s.lastBoxSumSq,
+		boxFlip:  s.boxFlip,
+	}
+	for i, buf := range s.bufs {
+		st.bufs[i] = append([]float64(nil), buf...)
+	}
+	if s.lastBox != nil {
+		st.lastBox = s.lastBox.Clone()
+	}
+	return st
+}
+
+// Restore replaces the scheduler's per-stream decision state with a snapshot,
+// as Reset replaces it with the fresh-stream state: after Restore the
+// scheduler decides exactly as the snapshotted one would have (pinned by
+// TestSnapshotRestoreMatchesUninterrupted). Models unknown to this scheduler's
+// zoo are interned on the fly, mirroring Decide's own behavior.
+func (s *Scheduler) Restore(st *State) {
+	s.Reset()
+	for i, name := range st.models {
+		idx := s.internModel(name)
+		s.bufs[idx] = append([]float64(nil), st.bufs[i]...)
+		s.rVals[idx] = st.rVals[i]
+		s.rSet[idx] = st.rSet[i]
+		s.valid[idx] = st.valid[i]
+	}
+	s.lastImg, s.lastImgSum, s.lastImgSumSq = st.lastImg, st.imgSum, st.imgSumSq
+	s.lastBox, s.lastBoxSum, s.lastBoxSumSq = st.lastBox, st.boxSum, st.boxSumSq
+	s.boxFlip = st.boxFlip
+}
