@@ -397,6 +397,29 @@ func BenchmarkFaultSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkAutoscaleSweep runs the elasticity grid (workload shape ×
+// placement × fixed/elastic capacity) and logs the autoscale headline: the
+// burst-shape p99 of the fixed 4-device reference against the elastic fleet,
+// and the diurnal drain activity.
+func BenchmarkAutoscaleSweep(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AutoscaleSweep(e, experiments.AutoscaleSweepConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fixed, _ := res.Row("burst", "residency-affinity", "fixed")
+			elastic, _ := res.Row("burst", "residency-affinity", "elastic")
+			diurnal, _ := res.Row("diurnal", "residency-affinity", "elastic")
+			b.Logf("autoscale burst: fixed4 p99=%.3fs queue=%.2fs | elastic p99=%.3fs peak=%d devices (%d outs) | diurnal: %d ins, %d drained, %d migrations, leaked=%d",
+				fixed.Latency.P99, fixed.AvgQueueDelaySec,
+				elastic.Latency.P99, elastic.PeakDevices, elastic.ScaleOuts,
+				diurnal.ScaleIns, diurnal.Drained, diurnal.Migrations, diurnal.LeakedRefs)
+		}
+	}
+}
+
 // BenchmarkSHIFTFrame measures the per-frame cost of the full SHIFT loop
 // (load + exec + detect + decide) on the harness itself.
 func BenchmarkSHIFTFrame(b *testing.B) {

@@ -207,6 +207,19 @@ func main() {
 		}
 	})
 
+	// AutoscaleSweep: the elasticity grid (workload shape × placement ×
+	// fixed/elastic capacity with SLO-driven scale-out and drain-based
+	// scale-in).
+	autoCfg := experiments.AutoscaleSweepConfig{}
+	run("AutoscaleSweep", "grid", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.AutoscaleSweep(env, autoCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
 	// NCC / NCCSearch micro-benchmarks on tracker-scale inputs.
 	r := rng.New(1)
 	imgA := randomImage(r, 72, 72)
@@ -312,6 +325,40 @@ func main() {
 		doc.Headline[cell.prefix+"_postfault_p99_s"] = row.PostFaultP99
 		doc.Headline[cell.prefix+"_p99_latency_s"] = row.Latency.P99
 		doc.Headline[cell.prefix+"_leaked_refs"] = float64(row.LeakedRefs)
+	}
+
+	// Autoscale headline: the elasticity grid's simulated metrics — the
+	// burst-shape fixed-vs-elastic contrast and the diurnal drain activity,
+	// residency-affinity placement. Deterministic per seed; with the
+	// autoscaler disabled (every other experiment) no existing key moves —
+	// these are additive like the fault block.
+	auto, err := experiments.AutoscaleSweep(env, autoCfg)
+	if err != nil {
+		fatal(err)
+	}
+	for _, cell := range []struct {
+		shape, mode, prefix string
+	}{
+		{"burst", "fixed", "auto_burst_fixed4"},
+		{"burst", "elastic", "auto_burst_elastic"},
+		{"diurnal", "fixed", "auto_diurnal_fixed4"},
+		{"diurnal", "elastic", "auto_diurnal_elastic"},
+	} {
+		row, ok := auto.Row(cell.shape, "residency-affinity", cell.mode)
+		if !ok {
+			fatal(fmt.Errorf("missing autoscale row for %s×%s", cell.shape, cell.mode))
+		}
+		doc.Headline[cell.prefix+"_p99_latency_s"] = row.Latency.P99
+		doc.Headline[cell.prefix+"_miss_rate"] = row.DeadlineMissRate
+		doc.Headline[cell.prefix+"_queue_wait_s"] = row.AvgQueueDelaySec
+		doc.Headline[cell.prefix+"_peak_devices"] = float64(row.PeakDevices)
+		if cell.mode == "elastic" {
+			doc.Headline[cell.prefix+"_scale_outs"] = float64(row.ScaleOuts)
+			doc.Headline[cell.prefix+"_scale_ins"] = float64(row.ScaleIns)
+			doc.Headline[cell.prefix+"_drained"] = float64(row.Drained)
+			doc.Headline[cell.prefix+"_migrations"] = float64(row.Migrations)
+			doc.Headline[cell.prefix+"_leaked_refs"] = float64(row.LeakedRefs)
+		}
 	}
 
 	if baseDoc != nil {

@@ -9,11 +9,17 @@
 // checkpointed and migrated across the surviving devices; the report then
 // includes the recovery line (migrations, downtime, post-fault tail).
 //
+// With -autoscale, the elasticity grid runs instead: burst and diurnal
+// workload shapes served by the fixed reference fleet and by an elastic
+// fleet whose SLO-driven autoscaler provisions warm-pool devices under
+// pressure and drains idle ones back (migrating their live sessions).
+//
 // Usage:
 //
 //	fleetsim -devices 4 -placement residency-affinity
 //	fleetsim -devices 2 -streams 24 -rate 0.5 -budget 2
 //	fleetsim -devices 4 -faults 6
+//	fleetsim -autoscale
 //	fleetsim -sweep
 package main
 
@@ -43,18 +49,78 @@ func main() {
 		valFrames = flag.Int("val-frames", experiments.DefaultValidationFrames, "validation frames for characterization")
 		sweep     = flag.Bool("sweep", false, "run the full device-count × placement grid (experiments.FleetSweep)")
 		faults    = flag.Float64("faults", 0, "mean device faults per minute; > 0 injects outages/deaths/brownouts with checkpoint/migration (experiments.FaultSweep)")
+		autoscale = flag.Bool("autoscale", false, "run the elasticity grid: fixed vs SLO-autoscaled fleets under burst and diurnal workloads (experiments.AutoscaleSweep)")
 	)
 	flag.Parse()
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
 	if err := run(*devices, *scales, *placement, *streams, *rate, *period,
-		*budget, *queue, *poolMB, *seed, *valFrames, *sweep, *faults); err != nil {
+		*budget, *queue, *poolMB, *seed, *valFrames, *sweep, *faults, *autoscale, set); err != nil {
 		fmt.Fprintln(os.Stderr, "fleetsim:", err)
 		os.Exit(1)
 	}
 }
 
+// validate rejects malformed flags up front — one line on stderr and a
+// non-zero exit, instead of a panic (or a multi-second characterization)
+// deep in the run.
+func validate(devices int, placement string, streams int, rate, period float64,
+	budget, queue int, poolMB int64, valFrames int, faults float64) error {
+	if _, err := fleet.PlacementByName(placement); err != nil {
+		return err
+	}
+	if devices <= 0 {
+		return fmt.Errorf("-devices must be positive, got %d", devices)
+	}
+	if streams <= 0 {
+		return fmt.Errorf("-streams must be positive, got %d", streams)
+	}
+	if rate <= 0 {
+		return fmt.Errorf("-rate must be positive, got %v", rate)
+	}
+	if period <= 0 {
+		return fmt.Errorf("-period must be positive, got %v", period)
+	}
+	if budget < 0 {
+		return fmt.Errorf("-budget must be >= 0 (0 = unlimited), got %d", budget)
+	}
+	if queue < -1 {
+		return fmt.Errorf("-queue must be >= -1 (-1 = unbounded), got %d", queue)
+	}
+	if poolMB <= 0 {
+		return fmt.Errorf("-pool-mb must be positive, got %d", poolMB)
+	}
+	if valFrames <= 0 {
+		return fmt.Errorf("-val-frames must be positive, got %d", valFrames)
+	}
+	if faults < 0 {
+		return fmt.Errorf("-faults must be >= 0, got %v", faults)
+	}
+	return nil
+}
+
+// run executes the selected experiment. set records which flags the user
+// passed explicitly, so the -autoscale grid keeps its tuned defaults unless
+// a flag was actually given — and flags a mode genuinely cannot honor are
+// rejected instead of silently ignored.
 func run(devices int, scales, placement string, streams int, rate, period float64,
-	budget, queue int, poolMB int64, seed uint64, valFrames int, sweep bool, faults float64) error {
+	budget, queue int, poolMB int64, seed uint64, valFrames int, sweep bool, faults float64,
+	autoscale bool, set map[string]bool) error {
+	if err := validate(devices, placement, streams, rate, period, budget, queue, poolMB, valFrames, faults); err != nil {
+		return err
+	}
+	if autoscale && faults > 0 {
+		return fmt.Errorf("-autoscale and -faults are mutually exclusive")
+	}
+	if autoscale && sweep {
+		return fmt.Errorf("-autoscale and -sweep are mutually exclusive")
+	}
+	scaleList, err := parseScales(scales)
+	if err != nil {
+		return err
+	}
+
 	fmt.Printf("characterizing %d-frame validation set (seed %d)...\n", valFrames, seed)
 	env, err := experiments.NewEnv(seed, valFrames)
 	if err != nil {
@@ -67,9 +133,42 @@ func run(devices int, scales, placement string, streams int, rate, period float6
 	workload.RatePerSec = rate
 	workload.PeriodSec = period
 	admission := fleet.Admission{PerDeviceStreams: budget, QueueLimit: queue}
-	scaleList, err := parseScales(scales)
-	if err != nil {
-		return err
+
+	if autoscale {
+		cfg := experiments.DefaultAutoscaleSweepConfig()
+		cfg.Placements = []string{placement}
+		cfg.Scales = scaleList
+		cfg.PoolMB = poolMB
+		cfg.Workload.Seed = seed
+		if set["devices"] {
+			cfg.FixedDevices = devices // the fixed reference fleet's size
+		}
+		if set["streams"] {
+			cfg.Workload.Streams = streams
+		}
+		if set["rate"] {
+			cfg.Workload.RatePerSec = rate // the base rate the shapes modulate
+		}
+		if set["period"] {
+			cfg.Workload.PeriodSec = period
+		}
+		if set["budget"] || set["queue"] {
+			adm := *cfg.Admission
+			if set["budget"] {
+				adm.PerDeviceStreams = budget
+			}
+			if set["queue"] {
+				adm.QueueLimit = queue
+			}
+			cfg.Admission = &adm
+		}
+		res, err := experiments.AutoscaleSweep(env, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Println(res.Report())
+		return nil
 	}
 
 	if faults > 0 {

@@ -23,19 +23,25 @@
 //   - internal/fleet: the multi-device serving layer — K heterogeneous
 //     devices behind a dispatcher with pluggable placement policies
 //     (round-robin, least-outstanding, residency-affinity), admission
-//     control with a bounded wait queue, a seeded open-loop workload
-//     generator, and a seeded fault injector (outages, deaths, brownouts)
-//     whose failures checkpoint and migrate in-flight streams; one global
-//     deterministic event loop interleaves arrivals, frame steps,
-//     departures and fault edges across devices.
+//     control with a bounded wait queue, seeded workload generators
+//     (constant-rate and shaped: burst / diurnal via thinning), a seeded
+//     fault injector (outages, deaths, brownouts) whose failures
+//     checkpoint and migrate in-flight streams, and an SLO-driven
+//     autoscaler (fleet.AutoscaleConfig) that provisions warm-pool
+//     devices on tail-latency or queue breaches and decommissions idle
+//     ones via drain-based scale-in; one global deterministic event loop
+//     interleaves arrivals, frame steps, departures, fault edges and
+//     scale ticks across devices.
 //   - internal/scene, internal/detmodel, internal/accel, internal/zoo:
 //     the simulated substrates (videos, models, hardware, binding).
 //   - internal/baseline: Marlin, single-model, frame-skip and Oracle
 //     comparison methods, all thin policies over the engine.
 //   - internal/experiments: one runner per paper table/figure, plus the
 //     multi-stream contention sweep (experiments.MultiStream), the
-//     multi-device fleet grid (experiments.FleetSweep) and the
-//     fault-tolerance grid (experiments.FaultSweep).
+//     multi-device fleet grid (experiments.FleetSweep), the
+//     fault-tolerance grid (experiments.FaultSweep) and the elasticity
+//     grid (experiments.AutoscaleSweep: fixed vs autoscaled fleets under
+//     burst and diurnal workload shapes).
 //   - cmd/: shiftsim, characterize, sweep, figures, bench, render, report,
 //     fleetsim.
 //   - examples/: quickstart, dronechase, energybudget, customzoo, livefeed,

@@ -211,6 +211,10 @@ type SoC struct {
 	// busy tracks each processor's FIFO queue horizon for contention-aware
 	// execution (ExecFrom); the plain Exec path does not consult it.
 	busy map[string]time.Duration
+	// parked marks a powered-down platform: every execution is refused until
+	// Unpark. The fleet's autoscaler parks a device after draining it, so a
+	// retired device can never silently serve again.
+	parked bool
 }
 
 // NewSoC assembles a platform from processors and pools, with jitter drawn
@@ -249,6 +253,18 @@ func (s *SoC) SetTimeScale(scale float64) error {
 	return nil
 }
 
+// Park powers the platform down: every subsequent Exec/ExecFrom is refused
+// until Unpark. Memory pools and meters are left intact — a parked device is
+// retired capacity, not a wiped one — so end-of-run accounting (busy time,
+// residency leak checks) still reads the device's final state.
+func (s *SoC) Park() { s.parked = true }
+
+// Unpark returns a parked platform to service.
+func (s *SoC) Unpark() { s.parked = false }
+
+// Parked reports whether the platform is powered down.
+func (s *SoC) Parked() bool { return s.parked }
+
 // Proc returns the processor with the given ID.
 func (s *SoC) Proc(id string) (*Proc, error) {
 	p, ok := s.Procs[id]
@@ -275,6 +291,9 @@ func (s *SoC) PoolOf(id string) (*MemPool, error) {
 // and mean power (Watts) on processor procID. The clock advances by the
 // jittered latency and the meter accumulates the jittered energy.
 func (s *SoC) Exec(procID string, latMean, powerMean float64) (Cost, error) {
+	if s.parked {
+		return Cost{}, fmt.Errorf("accel: platform is parked")
+	}
 	if _, err := s.Proc(procID); err != nil {
 		return Cost{}, err
 	}
@@ -319,6 +338,9 @@ type Span struct {
 // contention primitive of the multi-stream serving runtime: concurrent
 // streams on one accelerator pay each other's execution latency as Wait.
 func (s *SoC) ExecFrom(procID string, ready time.Duration, latMean, powerMean float64) (Span, error) {
+	if s.parked {
+		return Span{}, fmt.Errorf("accel: platform is parked")
+	}
 	if _, err := s.Proc(procID); err != nil {
 		return Span{}, err
 	}

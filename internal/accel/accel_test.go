@@ -280,3 +280,38 @@ func BenchmarkExec(b *testing.B) {
 		_, _ = s.Exec("gpu", 0.1, 10)
 	}
 }
+
+// TestParkRefusesExecution: a parked platform (a retired fleet device)
+// refuses every execution path but keeps its meters and pools readable, and
+// Unpark restores service.
+func TestParkRefusesExecution(t *testing.T) {
+	s := testSoC()
+	if s.Parked() {
+		t.Fatal("fresh platform parked")
+	}
+	if _, err := s.Exec("gpu", 0.01, 10); err != nil {
+		t.Fatal(err)
+	}
+	busy := s.Meter.BusyTime["gpu"]
+	s.Park()
+	if !s.Parked() {
+		t.Fatal("Park did not stick")
+	}
+	if _, err := s.Exec("gpu", 0.01, 10); err == nil {
+		t.Fatal("Exec on a parked platform must fail")
+	}
+	if _, err := s.ExecFrom("gpu", 0, 0.01, 10); err == nil {
+		t.Fatal("ExecFrom on a parked platform must fail")
+	}
+	if s.Meter.BusyTime["gpu"] != busy {
+		t.Fatal("refused executions charged the meter")
+	}
+	// Retired capacity stays auditable: pools and meters remain readable.
+	if _, err := s.PoolOf("gpu"); err != nil {
+		t.Fatal(err)
+	}
+	s.Unpark()
+	if _, err := s.Exec("gpu", 0.01, 10); err != nil {
+		t.Fatal("Unpark did not restore service:", err)
+	}
+}

@@ -334,6 +334,53 @@ func TestFaultDisplacedStreamFreesBudgetSlot(t *testing.T) {
 	checkNoLeaks(t, f)
 }
 
+// TestFaultQueueDelayExcludesDisplacementWait pins the displaced-stream
+// queue accounting: QueueDelaySec measures the wait before the *original*
+// admission only, and the wait after displacement — from the fault edge, not
+// from the stream's original arrival — is DowntimeSec. A stream admitted
+// instantly, displaced at t=1s and resuming at t=2s must therefore report
+// queue delay 0 and downtime 1, not a 2-second queue delay re-measured from
+// arrival.
+func TestFaultQueueDelayExcludesDisplacementWait(t *testing.T) {
+	f := newTestFleet(t, Admission{PerDeviceStreams: 1, QueueLimit: 4},
+		DeviceConfig{Name: "d0"}, DeviceConfig{Name: "d1"})
+	frames := testFrames(t)[:50]
+	mk := func(name string) StreamRequest {
+		return StreamRequest{
+			Name: name, Scenario: "scenario2", Arrival: 0, Frames: frames,
+			PeriodSec: 0.1, Policy: fixedFactory(detmodel.YoloV7Tiny, "gpu"),
+		}
+	}
+	// a and b fill both 1-slot devices at t=0 with zero queue delay. d0's
+	// 1-second outage displaces its stream; d1 stays full, so the displaced
+	// stream waits out the whole outage and resumes on the recovered d0.
+	res, err := f.RunWithFaults(
+		[]StreamRequest{mk("a"), mk("b")},
+		[]Fault{{Device: "d0", Kind: FaultOutage, At: time.Second, Duration: time.Second}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var displaced *StreamOutcome
+	for _, out := range res.Outcomes {
+		if out.Migrations > 0 {
+			displaced = out
+		}
+	}
+	if displaced == nil {
+		t.Fatal("outage displaced no stream")
+	}
+	if got := displaced.QueueDelaySec(); got != 0 {
+		t.Fatalf("queue delay %.3fs, want 0 — the displacement wait must not be "+
+			"re-measured from the original arrival", got)
+	}
+	if displaced.DowntimeSec != 1 {
+		t.Fatalf("downtime %.3fs, want exactly the 1s from displacement to resume",
+			displaced.DowntimeSec)
+	}
+	checkNoLeaks(t, f)
+}
+
 // TestFaultMigrationRequeuesAheadOfArrivals: displaced streams re-enter
 // service before new arrivals waiting in the same queue.
 func TestFaultMigrationRequeuesAheadOfArrivals(t *testing.T) {

@@ -24,6 +24,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/accel"
 	"repro/internal/loader"
 	"repro/internal/rng"
 	"repro/internal/runtime"
@@ -97,6 +98,17 @@ type Device struct {
 	downSec   time.Duration
 	displaced int
 	brownouts []Fault
+
+	// Elasticity state: auto marks a device the autoscaler provisioned from
+	// the warm pool; retired marks one it decommissioned (drained and parked
+	// — permanently out of placement, like dead but voluntary). drained
+	// counts sessions migrated away by scale-in, the voluntary counterpart
+	// of displaced.
+	auto          bool
+	retired       bool
+	provisionedAt time.Duration
+	retiredAt     time.Duration
+	drained       int
 }
 
 // ActiveStreams returns the number of streams currently admitted to the
@@ -108,6 +120,13 @@ func (d *Device) Down() bool { return d.down }
 
 // Dead reports whether the device failed permanently.
 func (d *Device) Dead() bool { return d.dead }
+
+// Retired reports whether the autoscaler decommissioned the device.
+func (d *Device) Retired() bool { return d.retired }
+
+// AutoProvisioned reports whether the autoscaler provisioned the device from
+// its warm pool (false for the configured base fleet).
+func (d *Device) AutoProvisioned() bool { return d.auto }
 
 // OutstandingFrames returns the total frames not yet served across the
 // device's active streams — the dispatcher's queue-depth signal.
@@ -189,10 +208,14 @@ type Config struct {
 	// Admission gates stream concurrency (zero value: unlimited, no queue).
 	Admission Admission
 	// NewSystem builds one device's platform + zoo from its seed (default
-	// zoo.Default).
+	// zoo.Default). The autoscaler provisions warm-pool devices through the
+	// same factory.
 	NewSystem func(seed uint64) *zoo.System
 	// Eviction is each device loader's eviction policy (default LRR).
 	Eviction loader.EvictionPolicy
+	// Autoscale enables the SLO-driven elastic controller (nil: the fleet is
+	// fixed and behaves bit-identically to a build without the autoscaler).
+	Autoscale *AutoscaleConfig
 }
 
 // DeriveSeed returns the deterministic per-device seed used when a
@@ -208,6 +231,13 @@ type Fleet struct {
 	place   Placement
 	adm     Admission
 
+	// Provisioning inputs retained from the config so the autoscaler can
+	// build warm-pool devices mid-run exactly the way New built the base
+	// fleet.
+	seed      uint64
+	newSystem func(seed uint64) *zoo.System
+	evict     loader.EvictionPolicy
+
 	// affinity is the dispatcher's learned residency model: for each
 	// scenario, the (model, kind) engines streams of that scenario ended up
 	// serving from, keyed by "model/kind" with a representative pair as
@@ -216,6 +246,13 @@ type Fleet struct {
 	// placement re-learns where a migrating scenario's engines live.
 	affinity map[string]map[string]zoo.Pair
 	seq      int
+
+	// auto is the elastic controller (nil when disabled). live counts
+	// serving-capable devices (not dead, not retired) and peakLive its
+	// maximum over the run.
+	auto     *autoscaler
+	live     int
+	peakLive int
 }
 
 // New assembles a fleet from its config.
@@ -232,9 +269,12 @@ func New(cfg Config) (*Fleet, error) {
 		place = NewRoundRobin()
 	}
 	f := &Fleet{
-		place:    place,
-		adm:      cfg.Admission,
-		affinity: map[string]map[string]zoo.Pair{},
+		place:     place,
+		adm:       cfg.Admission,
+		seed:      cfg.Seed,
+		newSystem: newSystem,
+		evict:     cfg.Eviction,
+		affinity:  map[string]map[string]zoo.Pair{},
 	}
 	seen := map[string]bool{}
 	for _, dc := range cfg.Devices {
@@ -245,30 +285,65 @@ func New(cfg Config) (*Fleet, error) {
 			return nil, fmt.Errorf("fleet: duplicate device name %q", dc.Name)
 		}
 		seen[dc.Name] = true
-		scale := dc.Scale
-		if scale == 0 {
-			scale = 1
+		d, err := f.buildDevice(dc, 0)
+		if err != nil {
+			return nil, err
 		}
-		if scale < 0 {
-			return nil, fmt.Errorf("fleet: device %q has negative scale %v", dc.Name, scale)
-		}
-		devSeed := dc.Seed
-		if devSeed == 0 {
-			devSeed = DeriveSeed(cfg.Seed, dc.Name)
-		}
-		sys := newSystem(devSeed)
-		if err := sys.SoC.SetTimeScale(scale); err != nil {
-			return nil, fmt.Errorf("fleet: device %q: %w", dc.Name, err)
-		}
-		f.devices = append(f.devices, &Device{
-			Name:  dc.Name,
-			Scale: scale,
-			Sys:   sys,
-			DML:   loader.New(sys, cfg.Eviction),
-		})
+		f.devices = append(f.devices, d)
 	}
 	sort.Slice(f.devices, func(i, j int) bool { return f.devices[i].Name < f.devices[j].Name })
+	f.live = len(f.devices)
+	f.peakLive = f.live
+	if cfg.Autoscale != nil {
+		acfg, err := cfg.Autoscale.withDefaults(len(cfg.Devices))
+		if err != nil {
+			return nil, err
+		}
+		// Warm-pool names are fixed up front, so a template can never
+		// collide with a base device mid-run.
+		for _, tpl := range acfg.Templates {
+			for i := 0; i < tpl.Count; i++ {
+				name := tpl.deviceName(i)
+				if seen[name] {
+					return nil, fmt.Errorf("fleet: warm-pool device name %q collides", name)
+				}
+				seen[name] = true
+			}
+		}
+		f.auto = newAutoscaler(acfg)
+	}
 	return f, nil
+}
+
+// buildDevice assembles one serving platform from its config — shared by New
+// (base fleet) and the autoscaler (warm-pool provisioning). poolMB > 0
+// replaces the SoC engine arena after construction, the warm-pool template's
+// memory knob.
+func (f *Fleet) buildDevice(dc DeviceConfig, poolMB int64) (*Device, error) {
+	scale := dc.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	if scale < 0 {
+		return nil, fmt.Errorf("fleet: device %q has negative scale %v", dc.Name, scale)
+	}
+	devSeed := dc.Seed
+	if devSeed == 0 {
+		devSeed = DeriveSeed(f.seed, dc.Name)
+	}
+	sys := f.newSystem(devSeed)
+	if err := sys.SoC.SetTimeScale(scale); err != nil {
+		return nil, fmt.Errorf("fleet: device %q: %w", dc.Name, err)
+	}
+	if poolMB > 0 {
+		sys.SoC.Pools[accel.SoCPoolName] = accel.NewMemPool(accel.SoCPoolName, poolMB*accel.MB)
+	}
+	return &Device{
+		Name:  dc.Name,
+		Scale: scale,
+		Sys:   sys,
+		DML:   loader.New(sys, f.evict),
+	}, nil
 }
 
 // Devices returns the fleet members in name order.
@@ -341,6 +416,15 @@ type DeviceStats struct {
 	DownSec   float64
 	Dead      bool
 	Displaced int
+	// Elasticity: Auto marks a warm-pool device the autoscaler provisioned
+	// (ProvisionedSec is when); Retired marks a device it drained and parked
+	// (RetiredSec is when); Drained counts sessions migrated away by
+	// scale-in.
+	Auto           bool
+	Retired        bool
+	ProvisionedSec float64
+	RetiredSec     float64
+	Drained        int
 	// LeakedRefs is the residency references still held at end of run —
 	// always zero unless migration bookkeeping is broken.
 	LeakedRefs int
@@ -355,7 +439,7 @@ type Result struct {
 	// Horizon is the makespan: the latest stream completion.
 	Horizon time.Duration
 	// Offered, Served, Rejected and Aborted count streams; Migrations counts
-	// successful post-fault device moves.
+	// successful device moves — after faults and after drain-based scale-in.
 	Offered    int
 	Served     int
 	Rejected   int
@@ -363,6 +447,13 @@ type Result struct {
 	Migrations int
 	// Faults is the schedule the run was injected with (nil when fault-free).
 	Faults []Fault
+	// Elasticity counters (zero when the autoscaler is off): ScaleOuts is
+	// devices provisioned from the warm pool, ScaleIns devices drained and
+	// retired, and PeakDevices the maximum concurrently serving-capable
+	// (neither dead nor retired) device count over the run.
+	ScaleOuts   int
+	ScaleIns    int
+	PeakDevices int
 }
 
 // Run serves the offered streams to completion on the fleet's global
@@ -374,12 +465,13 @@ func (f *Fleet) Run(reqs []StreamRequest) (*Result, error) {
 // RunWithFaults is Run with a fault schedule injected as first-class events.
 // At every iteration the earliest event is processed: a stream departure
 // (frees its admission slot, may drain the queue), a fault edge (onset or
-// recovery), a stream arrival (admission + placement), or the earliest-ready
-// frame step across all devices. Ties resolve departure < fault < arrival <
-// step, then device name, then admission order — every tie-break keys on
-// names and sequence numbers, never on slice order or map iteration, so
-// identical configs replay bit-for-bit, and an empty schedule is bit-identical
-// to Run.
+// recovery), an autoscaler tick (when enabled: provision or drain-and-retire
+// devices), a stream arrival (admission + placement), or the earliest-ready
+// frame step across all devices. Ties resolve departure < fault < scale <
+// arrival < step, then device name, then admission order — every tie-break
+// keys on names and sequence numbers, never on slice order or map iteration,
+// so identical configs replay bit-for-bit, an empty schedule is bit-identical
+// to Run, and a disabled autoscaler adds no events at all.
 //
 // On an outage or death, the device's in-flight streams are checkpointed
 // (runtime.Session.Snapshot), their residency holds released, and the
@@ -446,18 +538,47 @@ func (f *Fleet) RunWithFaults(reqs []StreamRequest, faults []Fault) (*Result, er
 		if haveFault {
 			faultAt = fevs[fi].at
 		}
+		// Scale ticks fire only while the simulation still has anything to
+		// serve or wait for — and stop for good once a tick could not act on
+		// an otherwise-idle fleet, so an unservable queue falls through to
+		// the terminal rejection below instead of ticking forever.
+		var scaleAt time.Duration
+		haveScale := f.auto != nil && !f.auto.exhausted &&
+			(dep != nil || step != nil || haveArr || haveFault || len(queue) > 0)
+		if haveScale {
+			scaleAt = f.auto.nextAt
+		}
 
 		switch {
-		case dep != nil && (!haveFault || depAt <= faultAt) && (!haveArr || depAt <= arrAt) && (step == nil || depAt <= stepAt):
+		case dep != nil && (!haveFault || depAt <= faultAt) && (!haveScale || depAt <= scaleAt) && (!haveArr || depAt <= arrAt) && (step == nil || depAt <= stepAt):
 			f.depart(dep)
 			if err := f.drainQueue(&queue, depAt); err != nil {
 				return fail(err)
 			}
-		case haveFault && (!haveArr || faultAt <= arrAt) && (step == nil || faultAt <= stepAt):
+		case haveFault && (!haveScale || faultAt <= scaleAt) && (!haveArr || faultAt <= arrAt) && (step == nil || faultAt <= stepAt):
 			ev := fevs[fi]
 			fi++
-			f.applyFault(ev, &queue)
+			if err := f.applyFault(ev, &queue); err != nil {
+				return fail(err)
+			}
 			if err := f.drainQueue(&queue, ev.at); err != nil {
+				return fail(err)
+			}
+		case haveScale && (!haveArr || scaleAt <= arrAt) && (step == nil || scaleAt <= stepAt):
+			// When no departure, fault, arrival or step remains, only
+			// provisioning can ever serve the queue — the tick must try
+			// regardless of QueueHighWater, and if even that cannot act,
+			// the scale stream ends so the queue falls through to the
+			// terminal rejection below.
+			lastResort := dep == nil && step == nil && !haveArr && !haveFault
+			acted, err := f.scaleTick(scaleAt, &queue, lastResort)
+			if err != nil {
+				return fail(err)
+			}
+			if !acted && lastResort {
+				f.auto.exhausted = true
+			}
+			if err := f.drainQueue(&queue, scaleAt); err != nil {
 				return fail(err)
 			}
 		case haveArr && (step == nil || arrAt <= stepAt):
@@ -472,6 +593,7 @@ func (f *Fleet) RunWithFaults(reqs []StreamRequest, faults []Fault) (*Result, er
 			if err := step.sess.Step(); err != nil {
 				return fail(err)
 			}
+			f.observeStep(step)
 		default:
 			// No departures, fault edges, arrivals or steppable sessions
 			// left; anything still queued can never be admitted — reject new
@@ -509,6 +631,10 @@ done:
 		}
 	}
 	res.Outcomes = outcomes
+	res.PeakDevices = f.peakLive
+	if f.auto != nil {
+		res.ScaleOuts, res.ScaleIns = f.auto.outs, f.auto.ins
+	}
 	for _, d := range f.devices {
 		res.Devices = append(res.Devices, f.deviceStats(d, res.Horizon))
 	}
@@ -517,12 +643,17 @@ done:
 
 // applyFault processes one fault edge. Durations and factors were validated
 // by expandFaults, so edges cannot fail mid-run.
-func (f *Fleet) applyFault(ev faultEvent, queue *[]*pending) {
+func (f *Fleet) applyFault(ev faultEvent, queue *[]*pending) error {
 	d := f.device(ev.fault.Device)
+	if d.retired {
+		// A decommissioned device is parked: faults on it are moot, and
+		// must not perturb the live-device accounting.
+		return nil
+	}
 	switch ev.fault.Kind {
 	case FaultBrownout:
 		if d.dead {
-			return
+			return nil
 		}
 		if ev.recovery {
 			for i, bf := range d.brownouts {
@@ -553,50 +684,70 @@ func (f *Fleet) applyFault(ev faultEvent, queue *[]*pending) {
 				d.down = false
 				d.downSec += ev.at - d.downSince
 			}
-			return
+			return nil
 		}
 		if d.dead {
-			return
+			return nil
 		}
 		if ev.fault.Kind == FaultDeath {
 			d.dead = true
+			f.live--
 		}
 		if !d.down {
 			d.down = true
 			d.downSince = ev.at
-			f.displace(d, ev.at, queue)
+			return f.displace(d, ev.at, queue)
 		}
 	}
+	return nil
 }
 
-// displace checkpoints every in-flight stream on a failed device, releases
-// its residency holds, frees its admission slots, and re-queues the
-// checkpoints ahead of new arrivals (behind earlier displacements), in
-// admission order. The partial records teach the affinity model so
-// residency-affinity placement re-learns the scenario's working set before
-// the stream is re-placed.
-func (f *Fleet) displace(d *Device, at time.Duration, queue *[]*pending) {
+// displace evacuates a failed device: every in-flight stream is checkpointed
+// and re-queued, counted against the device's displacement meter.
+func (f *Fleet) displace(d *Device, at time.Duration, queue *[]*pending) error {
+	return f.evacuate(d, at, queue, "displace", func() { d.displaced++ })
+}
+
+// evacuate checkpoints every in-flight stream on a device through the
+// runtime drain hook (snapshot + close, releasing its residency holds),
+// frees its admission slots, and re-queues the checkpoints ahead of new
+// arrivals (behind earlier displacements), in admission order — the shared
+// body of fault displacement and autoscaler drain. The partial records teach
+// the affinity model so residency-affinity placement re-learns the
+// scenario's working set before the stream is re-placed; count meters each
+// evacuated session on the caller's counter (displaced vs drained).
+func (f *Fleet) evacuate(d *Device, at time.Duration, queue *[]*pending, reason string, count func()) error {
 	if len(d.sessions) == 0 {
-		return
+		return nil
 	}
 	moved := make([]*pending, 0, len(d.sessions))
 	for _, as := range d.sessions {
-		snap := as.sess.Snapshot()
-		// Credit the failed device with the frames it actually served, and
-		// keep its horizon covering that work for utilization accounting.
+		snap, err := as.sess.Drain()
+		if err != nil {
+			return fmt.Errorf("fleet: %s %s off %s: %w", reason, as.out.Name, d.Name, err)
+		}
+		// Credit the evacuated device with the frames it actually served,
+		// and keep its horizon covering that work for utilization
+		// accounting.
 		d.frames += snap.Served() - as.prevRecords
 		if h := as.sess.Horizon(); h > d.horizon {
 			d.horizon = h
 		}
-		// A checkpointed fixed-cursor session cannot fail to release.
-		_ = as.sess.Close()
 		f.teach(as.out.Scenario, snap.Partial().Result.Records)
-		d.displaced++
+		count()
 		moved = append(moved, &pending{out: as.out, req: as.req, snap: snap, since: at})
 	}
-	// Displaced streams must stop consuming the device's budget slots — a
+	// Evacuated streams must stop consuming the device's budget slots — a
 	// stream waiting in the admission queue holds no slot anywhere.
 	d.sessions = d.sessions[:0]
+	requeue(queue, moved)
+	return nil
+}
+
+// requeue inserts evacuated sessions ahead of new arrivals, behind earlier
+// displacements — they were already admitted once, so they resume before
+// newcomers are let in.
+func requeue(queue *[]*pending, moved []*pending) {
 	i := 0
 	for i < len(*queue) && (*queue)[i].snap != nil {
 		i++
@@ -637,12 +788,13 @@ func (f *Fleet) arrive(req *StreamRequest, at time.Duration, queue *[]*pending) 
 }
 
 // candidates returns the available devices with admission headroom, in name
-// order. Down devices (outage or death) are excluded — failure-aware
-// placement starts here.
+// order. Down devices (outage or death) and retired ones (drained by the
+// autoscaler) are excluded — failure- and elasticity-aware placement starts
+// here.
 func (f *Fleet) candidates() []*Device {
 	var cands []*Device
 	for _, d := range f.devices {
-		if d.down {
+		if d.down || d.retired {
 			continue
 		}
 		if f.adm.PerDeviceStreams > 0 && len(d.sessions) >= f.adm.PerDeviceStreams {
@@ -766,7 +918,16 @@ func (f *Fleet) deviceStats(d *Device, horizon time.Duration) DeviceStats {
 		Evicts:     d.DML.Stats().Evictions,
 		Dead:       d.dead,
 		Displaced:  d.displaced,
+		Auto:       d.auto,
+		Retired:    d.retired,
+		Drained:    d.drained,
 		LeakedRefs: d.DML.TotalRefs(),
+	}
+	if d.auto {
+		st.ProvisionedSec = d.provisionedAt.Seconds()
+	}
+	if d.retired {
+		st.RetiredSec = d.retiredAt.Seconds()
 	}
 	st.DownSec = d.downSec.Seconds()
 	if d.down && horizon > d.downSince {

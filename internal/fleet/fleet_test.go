@@ -378,3 +378,61 @@ func TestFleetValidation(t *testing.T) {
 		t.Fatal("unknown placement should fail")
 	}
 }
+
+// TestShapedWorkload pins the non-homogeneous generator: identical inputs
+// replay bit-for-bit, a burst shape clumps arrivals inside its window, and
+// the argument contracts hold.
+func TestShapedWorkload(t *testing.T) {
+	src := func(*scene.Scenario) []scene.Frame { return testFrames(t) }
+	pol := fixedFactory(detmodel.YoloV7Tiny, "gpu")
+	cfg := DefaultWorkloadConfig()
+	cfg.Streams = 24
+	cfg.RatePerSec = 0.1
+	base, factor := 0.1, 12.0
+	burst := BurstRate(base, factor, 30*time.Second, 20*time.Second)
+	peak := base * factor // the same runtime product BurstRate computes
+	a, err := GenerateShapedWorkload(cfg, burst, peak, src, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateShapedWorkload(cfg, burst, peak, src, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inBurst := 0
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Arrival != b[i].Arrival || a[i].Scenario != b[i].Scenario {
+			t.Fatalf("request %d differs across identical configs", i)
+		}
+		if i > 0 && a[i].Arrival <= a[i-1].Arrival {
+			t.Fatalf("arrivals not strictly increasing at %d", i)
+		}
+		if s := a[i].Arrival.Seconds(); s >= 30 && s < 50 {
+			inBurst++
+		}
+	}
+	// The 20 s window at 12× the base rate must hold the bulk of the trace:
+	// expected ~24 arrivals inside vs ~0.1/s outside.
+	if inBurst < len(a)/2 {
+		t.Fatalf("burst window holds %d of %d arrivals; the shape did not clump", inBurst, len(a))
+	}
+	// The diurnal shape stays positive and periodic.
+	rate := DiurnalRate(1, 0.5, 100*time.Second)
+	if r := rate(25); r < 1.49 || r > 1.51 {
+		t.Fatalf("diurnal peak %v, want ~1.5", r)
+	}
+	if r := rate(75); r < 0.49 || r > 0.51 {
+		t.Fatalf("diurnal trough %v, want ~0.5", r)
+	}
+
+	if _, err := GenerateShapedWorkload(cfg, nil, 1, src, pol); err == nil {
+		t.Fatal("nil rate should fail")
+	}
+	if _, err := GenerateShapedWorkload(cfg, burst, 0, src, pol); err == nil {
+		t.Fatal("zero peak should fail")
+	}
+	// A rate above the declared peak is a thinning-contract violation.
+	if _, err := GenerateShapedWorkload(cfg, burst, 0.5, src, pol); err == nil {
+		t.Fatal("rate above peak should fail")
+	}
+}

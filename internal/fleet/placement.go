@@ -34,10 +34,16 @@ func PlacementByName(name string) (Placement, error) {
 	return nil, fmt.Errorf("fleet: unknown placement %q", name)
 }
 
-// roundRobin rotates over the fleet's name-ordered device list, skipping
-// devices without headroom — the classic load-oblivious baseline.
+// roundRobin rotates over the live candidates in name order — the classic
+// load-oblivious baseline. The cursor is the *name* of the last-picked
+// device, not an index into the fleet's full device list: an index cursor
+// keeps dead and decommissioned devices as rotation slots and is re-based
+// whenever the autoscaler grows the list, drifting the phase and biasing
+// placement toward devices adjacent to the removed (or inserted) one. A name
+// cursor rotates over whatever is currently alive, and on a static fleet
+// picks exactly the devices the index cursor used to.
 type roundRobin struct {
-	next int
+	last string // last-picked device name; "" before the first pick
 }
 
 // NewRoundRobin returns the rotating placement baseline.
@@ -47,20 +53,18 @@ func NewRoundRobin() Placement { return &roundRobin{} }
 func (p *roundRobin) Name() string { return "round-robin" }
 
 // Pick implements Placement.
-func (p *roundRobin) Pick(f *Fleet, _ *StreamRequest, candidates []*Device) *Device {
-	devs := f.Devices()
-	for i := 0; i < len(devs); i++ {
-		d := devs[(p.next+i)%len(devs)]
-		for _, c := range candidates {
-			if c == d {
-				p.next = (p.next + i + 1) % len(devs)
-				return d
-			}
+func (p *roundRobin) Pick(_ *Fleet, _ *StreamRequest, candidates []*Device) *Device {
+	// Candidates arrive live and name-ordered: pick the first one strictly
+	// after the cursor, wrapping to the front.
+	for _, c := range candidates {
+		if c.Name > p.last {
+			p.last = c.Name
+			return c
 		}
 	}
-	// The dispatcher guarantees candidates is a non-empty subset of the
-	// fleet's devices, so the rotation above always returns.
-	panic("fleet: round-robin found no candidate among the fleet's devices")
+	d := candidates[0]
+	p.last = d.Name
+	return d
 }
 
 // leastOutstanding places each stream on the candidate with the fewest

@@ -43,16 +43,28 @@ type Summary struct {
 	AvgDowntimeSec float64
 	PostFaultP99   float64
 	LeakedRefs     int
+
+	// Elasticity metrics (zero when the autoscaler is off). ScaleOuts and
+	// ScaleIns count devices provisioned from and drained back into the warm
+	// pool; Drained sums the sessions those drains migrated; PeakDevices is
+	// the maximum concurrently serving-capable device count over the run.
+	ScaleOuts   int
+	ScaleIns    int
+	Drained     int
+	PeakDevices int
 }
 
 // Summarize reduces a fleet result.
 func Summarize(res *Result) Summary {
 	s := Summary{
-		Offered:    res.Offered,
-		Served:     res.Served,
-		Rejected:   res.Rejected,
-		Aborted:    res.Aborted,
-		Migrations: res.Migrations,
+		Offered:     res.Offered,
+		Served:      res.Served,
+		Rejected:    res.Rejected,
+		Aborted:     res.Aborted,
+		Migrations:  res.Migrations,
+		ScaleOuts:   res.ScaleOuts,
+		ScaleIns:    res.ScaleIns,
+		PeakDevices: res.PeakDevices,
 	}
 	firstFault := time.Duration(-1)
 	for _, ft := range res.Faults {
@@ -111,6 +123,7 @@ func Summarize(res *Result) Summary {
 		s.Loads += d.Loads
 		s.Evictions += d.Evicts
 		s.LeakedRefs += d.LeakedRefs
+		s.Drained += d.Drained
 		utilSum += d.Utilization
 	}
 	if len(res.Devices) > 0 {
@@ -129,6 +142,9 @@ func Report(res *Result) string {
 		name := d.Name
 		if d.Dead {
 			name += " †"
+		}
+		if d.Retired {
+			name += " ↓"
 		}
 		rows = append(rows, []string{
 			name,
@@ -154,6 +170,11 @@ func Report(res *Result) string {
 		head += fmt.Sprintf(
 			"\nFaults: %d injected | %d migrations, %d aborted | mean downtime %.2fs | post-fault p99 %.3fs | leaked refs %d",
 			len(res.Faults), sum.Migrations, sum.Aborted, sum.AvgDowntimeSec, sum.PostFaultP99, sum.LeakedRefs)
+	}
+	if sum.ScaleOuts > 0 || sum.ScaleIns > 0 {
+		head += fmt.Sprintf(
+			"\nAutoscale: %d scale-outs, %d scale-ins (↓=retired) | peak %d devices | %d sessions drained",
+			sum.ScaleOuts, sum.ScaleIns, sum.PeakDevices, sum.Drained)
 	}
 	return head + "\n\n" +
 		textplot.Table("Per-device serving totals", rows) + "\n" +

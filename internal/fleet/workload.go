@@ -99,3 +99,100 @@ func GenerateWorkload(cfg WorkloadConfig, source FrameSource, policy PolicyFacto
 	}
 	return reqs, nil
 }
+
+// RateFn gives the instantaneous stream arrival rate (streams/second) at
+// virtual time t seconds — the non-homogeneous shape the autoscale
+// experiments drive elasticity with.
+type RateFn func(tSec float64) float64
+
+// BurstRate returns a piecewise-constant shape: base everywhere, base×factor
+// inside [start, start+dur) — a traffic spike.
+func BurstRate(base, factor float64, start, dur time.Duration) RateFn {
+	s, e := start.Seconds(), (start + dur).Seconds()
+	return func(t float64) float64 {
+		if t >= s && t < e {
+			return base * factor
+		}
+		return base
+	}
+}
+
+// DiurnalRate returns a sinusoidal shape: base×(1 + amp·sin(2πt/period)) —
+// the day/night swing, starting on the rising edge. amp must sit in [0, 1)
+// so the rate stays positive.
+func DiurnalRate(base, amp float64, period time.Duration) RateFn {
+	p := period.Seconds()
+	return func(t float64) float64 {
+		return base * (1 + amp*math.Sin(2*math.Pi*t/p))
+	}
+}
+
+// GenerateShapedWorkload is GenerateWorkload with a time-varying arrival
+// rate, realized as a thinned Poisson process (Lewis–Shedler): candidate
+// arrivals are drawn at the constant peak rate and accepted with probability
+// rate(t)/peak. cfg.RatePerSec is ignored — rate supplies it — and peak must
+// bound rate everywhere (violations are detected during generation). Like
+// the constant-rate generator, identical inputs generate identical workloads
+// bit-for-bit, independent of fleet composition.
+func GenerateShapedWorkload(cfg WorkloadConfig, rate RateFn, peak float64, source FrameSource, policy PolicyFactory) ([]StreamRequest, error) {
+	if cfg.Streams <= 0 {
+		return nil, fmt.Errorf("fleet: workload needs a positive stream count, got %d", cfg.Streams)
+	}
+	if rate == nil {
+		return nil, fmt.Errorf("fleet: shaped workload needs a rate function")
+	}
+	if peak <= 0 {
+		return nil, fmt.Errorf("fleet: shaped workload needs a positive peak rate, got %v", peak)
+	}
+	if cfg.PeriodSec <= 0 {
+		return nil, fmt.Errorf("fleet: workload needs a positive camera period, got %v", cfg.PeriodSec)
+	}
+	if cfg.MinFrames <= 0 || cfg.MaxFrames < cfg.MinFrames {
+		return nil, fmt.Errorf("fleet: invalid stream length bounds [%d, %d]", cfg.MinFrames, cfg.MaxFrames)
+	}
+	if source == nil {
+		return nil, fmt.Errorf("fleet: workload needs a frame source")
+	}
+	scenarios := cfg.Scenarios
+	if scenarios == nil {
+		scenarios = scene.EvaluationSuite()
+	}
+	r := rng.New(cfg.Seed).Fork("fleet/workload")
+	reqs := make([]StreamRequest, 0, cfg.Streams)
+	at := time.Duration(0)
+	rejected := 0
+	for i := 0; i < cfg.Streams; {
+		gap := -math.Log(1-r.Float64()) / peak
+		at += time.Duration(gap * float64(time.Second))
+		want := rate(at.Seconds())
+		if want < 0 || want > peak {
+			return nil, fmt.Errorf("fleet: shaped rate %v at %v outside [0, peak %v]", want, at, peak)
+		}
+		if r.Float64() >= want/peak {
+			// Thinned candidate. A rate pinned (effectively) at zero would
+			// thin forever: a run of rejections this long means the
+			// acceptance probability is below ~1e-6 of peak.
+			if rejected++; rejected > 1<<20 {
+				return nil, fmt.Errorf("fleet: shaped rate stuck near zero after %v (%d candidates thinned)", at, rejected)
+			}
+			continue
+		}
+		rejected = 0
+		sc := scenarios[r.Intn(len(scenarios))]
+		n := cfg.MinFrames + r.Intn(cfg.MaxFrames-cfg.MinFrames+1)
+		frames := source(sc)
+		if len(frames) > n {
+			frames = frames[:n]
+		}
+		reqs = append(reqs, StreamRequest{
+			Name:      fmt.Sprintf("%s#%02d", sc.Name, i),
+			Scenario:  sc.Name,
+			Arrival:   at,
+			Frames:    frames,
+			PeriodSec: cfg.PeriodSec,
+			Policy:    policy,
+		})
+		i++
+	}
+	return reqs, nil
+}

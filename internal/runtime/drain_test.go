@@ -1,0 +1,77 @@
+package runtime
+
+import (
+	"testing"
+
+	"repro/internal/detmodel"
+	"repro/internal/loader"
+	"repro/internal/zoo"
+)
+
+// TestSessionDrain pins the drain hook the fleet's displacement and
+// autoscaler paths share: Drain checkpoints the session, releases its
+// residency holds (the loader ends refs-clean), closes it, and the returned
+// snapshot restores into a session that serves the remaining frames — while
+// draining an already-closed session is refused.
+func TestSessionDrain(t *testing.T) {
+	sys := zoo.Default(1)
+	dml := loader.New(sys, loader.EvictLRR)
+	frames := testFrames(t)[:20]
+	pol := &fixedPolicy{pair: testPair(t, sys, detmodel.YoloV7, "gpu")}
+	sess, err := OpenSession(sys, dml, StreamSpec{
+		Name: "s", Frames: frames, PeriodSec: 0.1, Policy: pol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := sess.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := sess.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Served() != 8 || snap.Remaining() != 12 {
+		t.Fatalf("snapshot served %d remaining %d, want 8/12", snap.Served(), snap.Remaining())
+	}
+	if n := dml.TotalRefs(); n != 0 {
+		t.Fatalf("drained session left %d residency refs", n)
+	}
+	if _, err := sess.Drain(); err == nil {
+		t.Fatal("draining a closed session must fail")
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal("Close stays idempotent after Drain:", err)
+	}
+
+	// The checkpoint resumes on a fresh device and serves the tail.
+	sys2 := zoo.Default(1)
+	dml2 := loader.New(sys2, loader.EvictLRR)
+	restored, err := RestoreSession(sys2, dml2, snap,
+		&fixedPolicy{pair: testPair(t, sys2, detmodel.YoloV7, "gpu")}, snap.Partial().Timings[7].Done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !restored.Done() {
+		if err := restored.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := restored.Result()
+	if got := len(res.Result.Records); got != len(frames) {
+		t.Fatalf("restored session served %d records, want %d", got, len(frames))
+	}
+	for i, rec := range res.Result.Records {
+		if rec.Index != frames[i].Index {
+			t.Fatalf("record %d has frame index %d (dropped or duplicated across drain)", i, rec.Index)
+		}
+	}
+	if err := restored.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := dml2.TotalRefs(); n != 0 {
+		t.Fatalf("restored session leaked %d refs", n)
+	}
+}

@@ -306,6 +306,21 @@ func RestoreSession(sys *zoo.System, dml *loader.Loader, snap *SessionSnapshot, 
 	return s, nil
 }
 
+// Drain checkpoints the session and closes it in one step — the hook the
+// fleet layer uses to evacuate a device, whether a fault displaced it or the
+// autoscaler is decommissioning it. The returned snapshot carries everything
+// RestoreSession needs to resume the stream elsewhere, and the session's
+// residency holds are released, so the drained device's loader ends
+// refs-clean. Draining an already-closed session is an error: its holds are
+// gone and a second checkpoint could double-serve frames.
+func (s *Session) Drain() (*SessionSnapshot, error) {
+	if s.closed {
+		return nil, fmt.Errorf("runtime: drain closed stream %s", s.res.Name)
+	}
+	snap := s.Snapshot()
+	return snap, s.Close()
+}
+
 // Close releases the session's residency hold so the shared pools end clean.
 // It is idempotent and must run on every path, including errors.
 func (s *Session) Close() error {

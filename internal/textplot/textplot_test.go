@@ -146,3 +146,19 @@ func TestPercentBars(t *testing.T) {
 		t.Fatalf("label/value mismatch not reported: %q", mismatch)
 	}
 }
+
+// TestPercentBarsZeroTotal pins the all-zero shape: gauges with a zero total
+// render empty bars at 0.0% instead of dividing by zero or rescaling.
+func TestPercentBarsZeroTotal(t *testing.T) {
+	out := PercentBars("idle fleet", []string{"d0", "d1"}, []float64{0, 0}, 10)
+	want := "idle fleet\n" +
+		"d0 |          |   0.0%\n" +
+		"d1 |          |   0.0%\n"
+	if out != want {
+		t.Fatalf("zero-total gauges:\n%q\nwant:\n%q", out, want)
+	}
+	// Mismatched labels/values keep the guarded shape.
+	if out := PercentBars("t", []string{"a"}, nil, 10); !strings.Contains(out, "mismatch") {
+		t.Fatalf("mismatch guard: %q", out)
+	}
+}
