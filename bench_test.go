@@ -397,6 +397,28 @@ func BenchmarkFaultSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkCrashSweep runs the crash-recovery grid (worker-crash rate ×
+// placement on a journaled fleet) and logs the durability headline at the
+// highest crash rate: crashes absorbed, frames replayed from checkpoint wire
+// bytes, best-effort streams shed, and journal traffic.
+func BenchmarkCrashSweep(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.CrashSweep(e, experiments.CrashSweepConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			clean, _ := res.Row(0, "residency-affinity")
+			worst, _ := res.Row(12, "residency-affinity")
+			b.Logf("crashes @12/min: %d crashes, %d frames replayed, %d shed, journal %d writes %.1f KiB, post-fault p99=%.3fs (crash-free p99=%.3fs), leaked refs=%d",
+				worst.Crashes, worst.ReplayedFrames, worst.Shed,
+				worst.JournalWrites, float64(worst.JournalBytes)/1024,
+				worst.PostFaultP99, clean.Latency.P99, worst.LeakedRefs)
+		}
+	}
+}
+
 // BenchmarkAutoscaleSweep runs the elasticity grid (workload shape ×
 // placement × fixed/elastic capacity) and logs the autoscale headline: the
 // burst-shape p99 of the fixed 4-device reference against the elastic fleet,

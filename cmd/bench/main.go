@@ -207,6 +207,18 @@ func main() {
 		}
 	})
 
+	// CrashSweep: the crash-recovery grid (worker-crash rate × placement on
+	// a journaled fleet, kill-and-recover from checkpoint wire bytes).
+	crashCfg := experiments.CrashSweepConfig{}
+	run("CrashSweep", "grid", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.CrashSweep(env, crashCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
 	// AutoscaleSweep: the elasticity grid (workload shape × placement ×
 	// fixed/elastic capacity with SLO-driven scale-out and drain-based
 	// scale-in).
@@ -321,6 +333,35 @@ func main() {
 		}
 		doc.Headline[cell.prefix+"_migrations"] = float64(row.Migrations)
 		doc.Headline[cell.prefix+"_aborted"] = float64(row.Aborted)
+		doc.Headline[cell.prefix+"_downtime_s"] = row.AvgDowntimeSec
+		doc.Headline[cell.prefix+"_postfault_p99_s"] = row.PostFaultP99
+		doc.Headline[cell.prefix+"_p99_latency_s"] = row.Latency.P99
+		doc.Headline[cell.prefix+"_leaked_refs"] = float64(row.LeakedRefs)
+	}
+
+	// Crash-recovery headline: durability metrics at the highest swept crash
+	// rate. Deterministic per seed; the journal never steers serving
+	// decisions, so these keys are additive — existing headline blocks do
+	// not move.
+	crash, err := experiments.CrashSweep(env, crashCfg)
+	if err != nil {
+		fatal(err)
+	}
+	for _, cell := range []struct {
+		placement, prefix string
+	}{
+		{"round-robin", "crash12_rr"},
+		{"residency-affinity", "crash12_affinity"},
+	} {
+		row, ok := crash.Row(12, cell.placement)
+		if !ok {
+			fatal(fmt.Errorf("missing crash row for 12/min×%s", cell.placement))
+		}
+		doc.Headline[cell.prefix+"_crashes"] = float64(row.Crashes)
+		doc.Headline[cell.prefix+"_replayed_frames"] = float64(row.ReplayedFrames)
+		doc.Headline[cell.prefix+"_shed"] = float64(row.Shed)
+		doc.Headline[cell.prefix+"_journal_writes"] = float64(row.JournalWrites)
+		doc.Headline[cell.prefix+"_journal_bytes"] = float64(row.JournalBytes)
 		doc.Headline[cell.prefix+"_downtime_s"] = row.AvgDowntimeSec
 		doc.Headline[cell.prefix+"_postfault_p99_s"] = row.PostFaultP99
 		doc.Headline[cell.prefix+"_p99_latency_s"] = row.Latency.P99

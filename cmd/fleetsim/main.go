@@ -14,6 +14,13 @@
 // fleet whose SLO-driven autoscaler provisions warm-pool devices under
 // pressure and drains idle ones back (migrating their live sessions).
 //
+// With -workers N, serving splits across real OS processes: a coordinator
+// spawns N worker subprocesses of this binary (each re-exec'd with -worker),
+// drives streams over line-delimited JSON on stdio pipes, and journals a
+// versioned checkpoint per chunk. Add -kill-one to SIGKILL a worker mid-run:
+// its streams resume on the survivors from the journal, and every stream's
+// decision digest is verified against an uninterrupted in-process serve.
+//
 // Usage:
 //
 //	fleetsim -devices 4 -placement residency-affinity
@@ -21,6 +28,7 @@
 //	fleetsim -devices 4 -faults 6
 //	fleetsim -autoscale
 //	fleetsim -sweep
+//	fleetsim -workers 2 -streams 8 -kill-one
 package main
 
 import (
@@ -36,24 +44,52 @@ import (
 
 func main() {
 	var (
-		devices   = flag.Int("devices", 2, "number of devices in the fleet")
-		scales    = flag.String("scales", "1,1.25", "comma-separated per-device latency scales, cycled")
-		placement = flag.String("placement", "residency-affinity", "placement: round-robin, least-outstanding, residency-affinity")
-		streams   = flag.Int("streams", 16, "streams offered")
-		rate      = flag.Float64("rate", 0.25, "mean stream arrival rate per second")
-		period    = flag.Float64("period", 0.1, "camera frame period in seconds")
-		budget    = flag.Int("budget", 3, "admission budget: max concurrent streams per device (0 = unlimited)")
-		queue     = flag.Int("queue", 8, "admission queue slots when saturated (0 = reject immediately, -1 = unbounded)")
-		poolMB    = flag.Int64("pool-mb", 1300, "per-device engine memory arena in MB")
-		seed      = flag.Uint64("seed", 1, "experiment seed")
-		valFrames = flag.Int("val-frames", experiments.DefaultValidationFrames, "validation frames for characterization")
-		sweep     = flag.Bool("sweep", false, "run the full device-count × placement grid (experiments.FleetSweep)")
-		faults    = flag.Float64("faults", 0, "mean device faults per minute; > 0 injects outages/deaths/brownouts with checkpoint/migration (experiments.FaultSweep)")
-		autoscale = flag.Bool("autoscale", false, "run the elasticity grid: fixed vs SLO-autoscaled fleets under burst and diurnal workloads (experiments.AutoscaleSweep)")
+		devices    = flag.Int("devices", 2, "number of devices in the fleet")
+		scales     = flag.String("scales", "1,1.25", "comma-separated per-device latency scales, cycled")
+		placement  = flag.String("placement", "residency-affinity", "placement: round-robin, least-outstanding, residency-affinity")
+		streams    = flag.Int("streams", 16, "streams offered")
+		rate       = flag.Float64("rate", 0.25, "mean stream arrival rate per second")
+		period     = flag.Float64("period", 0.1, "camera frame period in seconds")
+		budget     = flag.Int("budget", 3, "admission budget: max concurrent streams per device (0 = unlimited)")
+		queue      = flag.Int("queue", 8, "admission queue slots when saturated (0 = reject immediately, -1 = unbounded)")
+		poolMB     = flag.Int64("pool-mb", 1300, "per-device engine memory arena in MB")
+		seed       = flag.Uint64("seed", 1, "experiment seed")
+		valFrames  = flag.Int("val-frames", experiments.DefaultValidationFrames, "validation frames for characterization")
+		sweep      = flag.Bool("sweep", false, "run the full device-count × placement grid (experiments.FleetSweep)")
+		faults     = flag.Float64("faults", 0, "mean device faults per minute; > 0 injects outages/deaths/brownouts with checkpoint/migration (experiments.FaultSweep)")
+		autoscale  = flag.Bool("autoscale", false, "run the elasticity grid: fixed vs SLO-autoscaled fleets under burst and diurnal workloads (experiments.AutoscaleSweep)")
+		worker     = flag.String("worker", "", "run as a worker process with this device name, protocol on stdio (spawned by -workers)")
+		workers    = flag.Int("workers", 0, "coordinator mode: spawn N worker subprocesses and serve -streams across them")
+		killOne    = flag.Bool("kill-one", false, "with -workers: SIGKILL worker w0 after its first journaled chunk to exercise crash recovery")
+		journalDir = flag.String("journal-dir", "", "with -workers: persist each stream's latest checkpoint to this directory")
 	)
 	flag.Parse()
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	if *worker != "" {
+		// Stdout is the protocol channel; nothing else runs in this mode.
+		if err := runWorker(*worker, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "fleetsim worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *workers > 0 {
+		if *sweep || *autoscale || *faults > 0 {
+			fmt.Fprintln(os.Stderr, "fleetsim: -workers is mutually exclusive with -sweep, -autoscale, and -faults")
+			os.Exit(1)
+		}
+		if err := runCoordinator(*workers, *streams, *period, *seed, *killOne, *journalDir); err != nil {
+			fmt.Fprintln(os.Stderr, "fleetsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *killOne || *journalDir != "" {
+		fmt.Fprintln(os.Stderr, "fleetsim: -kill-one and -journal-dir require -workers")
+		os.Exit(1)
+	}
 
 	if err := run(*devices, *scales, *placement, *streams, *rate, *period,
 		*budget, *queue, *poolMB, *seed, *valFrames, *sweep, *faults, *autoscale, set); err != nil {

@@ -31,7 +31,19 @@
 //     devices on tail-latency or queue breaches and decommissions idle
 //     ones via drain-based scale-in; one global deterministic event loop
 //     interleaves arrivals, frame steps, departures, fault edges and
-//     scale ticks across devices.
+//     scale ticks across devices. With fleet.DurabilityConfig set, every
+//     session is journaled through the checkpoint wire format and a
+//     fourth fault kind — crash — kills a device's worker process and
+//     recovers its streams from journal bytes (best-effort streams shed
+//     first when survivors lack slack).
+//   - internal/checkpoint: the versioned, self-describing checkpoint wire
+//     format (magic + version + CRC-guarded sections; frames by
+//     reference) with typed decode errors and a committed fuzz corpus.
+//   - internal/distrib: the coordinator/worker process split — a
+//     line-delimited JSON protocol over stdio pipes with per-request
+//     deadlines, bounded retries and idempotent re-dispatch, journaling
+//     each stream's checkpoint so a SIGKILLed worker's streams resume on
+//     survivors with bit-identical decisions.
 //   - internal/scene, internal/detmodel, internal/accel, internal/zoo:
 //     the simulated substrates (videos, models, hardware, binding).
 //   - internal/baseline: Marlin, single-model, frame-skip and Oracle
@@ -39,9 +51,10 @@
 //   - internal/experiments: one runner per paper table/figure, plus the
 //     multi-stream contention sweep (experiments.MultiStream), the
 //     multi-device fleet grid (experiments.FleetSweep), the
-//     fault-tolerance grid (experiments.FaultSweep) and the elasticity
+//     fault-tolerance grid (experiments.FaultSweep), the elasticity
 //     grid (experiments.AutoscaleSweep: fixed vs autoscaled fleets under
-//     burst and diurnal workload shapes).
+//     burst and diurnal workload shapes) and the crash-recovery grid
+//     (experiments.CrashSweep: kill-and-recover on a journaled fleet).
 //   - cmd/: shiftsim, characterize, sweep, figures, bench, render, report,
 //     fleetsim.
 //   - examples/: quickstart, dronechase, energybudget, customzoo, livefeed,

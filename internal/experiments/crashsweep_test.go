@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/scene"
+)
+
+// quickCrashSweepConfig keeps the grid small enough for unit tests: a short
+// workload on two devices, one crash-free and one heavily crashed rate, with
+// a fast journal cadence so most recovery replays little.
+func quickCrashSweepConfig() CrashSweepConfig {
+	adm := fleet.DefaultAdmission()
+	wl := fleet.WorkloadConfig{
+		Seed: 1, Streams: 6, RatePerSec: 0.5, PeriodSec: 0.1,
+		MinFrames: 120, MaxFrames: 240,
+		Scenarios: []*scene.Scenario{scene.Scenario2()},
+	}
+	return CrashSweepConfig{
+		RatesPerMin:     []float64{0, 20},
+		Placements:      []string{"residency-affinity"},
+		Devices:         2,
+		Workload:        wl,
+		BestEffortEvery: 3,
+		Admission:       &adm,
+		MeanRestartSec:  3,
+	}
+}
+
+// TestCrashSweepRecoversAndStaysClean pins the acceptance criterion: with a
+// positive crash rate every premium stream recovers (CrashSweep errors if one
+// is shed), stream accounting closes (served + shed + aborted + rejected ==
+// offered), no residency reference leaks, and the journal absorbed real
+// checkpoint traffic — while the rate-0 row reports no crash activity.
+func TestCrashSweepRecoversAndStaysClean(t *testing.T) {
+	env, err := Shared()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CrashSweep(env, quickCrashSweepConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, ok := res.Row(0, "residency-affinity")
+	if !ok {
+		t.Fatal("missing crash-free row")
+	}
+	if clean.Crashes != 0 || clean.Shed != 0 || clean.ReplayedFrames != 0 || clean.Faults != 0 {
+		t.Fatalf("crash-free row reports crash activity: %+v", clean.Summary)
+	}
+	if clean.JournalWrites == 0 || clean.JournalBytes == 0 {
+		t.Fatal("crash-free row journaled nothing; durability should be on in every cell")
+	}
+	crashed, ok := res.Row(20, "residency-affinity")
+	if !ok {
+		t.Fatal("missing crashed row")
+	}
+	if crashed.Faults == 0 || crashed.Crashes == 0 {
+		t.Fatalf("crashed row saw %d faults, %d crashes; raise the rate or horizon",
+			crashed.Faults, crashed.Crashes)
+	}
+	if crashed.LeakedRefs != 0 {
+		t.Fatalf("crashed row leaked %d residency refs", crashed.LeakedRefs)
+	}
+	if got := crashed.Served + crashed.Shed + crashed.Aborted + crashed.Rejected; got != crashed.Offered {
+		t.Fatalf("stream accounting: served %d + shed %d + aborted %d + rejected %d != offered %d",
+			crashed.Served, crashed.Shed, crashed.Aborted, crashed.Rejected, crashed.Offered)
+	}
+	if crashed.Frames == 0 {
+		t.Fatal("crashed row served no frames")
+	}
+	if report := res.Report(); len(report) == 0 {
+		t.Fatal("empty report")
+	}
+}
+
+// TestCrashSweepCrashFreeMatchesFaultSweepReference: with the journal on but
+// no crash scheduled, serving decisions must match the FaultSweep fault-free
+// reference on the same workload — the journal observes, it never steers.
+func TestCrashSweepCrashFreeMatchesFaultSweepReference(t *testing.T) {
+	env, err := Shared()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := quickCrashSweepConfig()
+	ccfg.RatesPerMin = []float64{0}
+	cres, err := CrashSweep(env, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfg := quickFaultSweepConfig()
+	fcfg.RatesPerMin = []float64{0}
+	fres, err := FaultSweep(env, fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := cres.Rows[0].Summary, fres.Rows[0].Summary
+	// Strip the durability counters (journal on vs off) — everything the
+	// serving path decides must be bit-identical.
+	a.JournalWrites, a.JournalBytes = 0, 0
+	if a != b {
+		t.Fatalf("crash-free journaled run diverged from the fault-free reference:\n%+v\n%+v", a, b)
+	}
+}

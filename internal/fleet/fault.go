@@ -24,6 +24,14 @@ const (
 	// TimeScale) by Factor for Duration — thermal throttling or a noisy
 	// neighbor. Streams stay put and simply run slower.
 	FaultBrownout
+	// FaultCrash kills the device's worker process: kill -9, OOM, or the
+	// hard phase of a rolling restart. Unlike an outage, nothing live
+	// survives — in-memory session state is gone and residency is wiped —
+	// so streams resume from their last durable checkpoint, replaying the
+	// frames served since. Requires the fleet's Durability journal; Duration
+	// is the restart time (0: instant restart, > 0: rolling restart during
+	// which the device is out of placement).
+	FaultCrash
 )
 
 // String names the kind.
@@ -35,6 +43,8 @@ func (k FaultKind) String() string {
 		return "death"
 	case FaultBrownout:
 		return "brownout"
+	case FaultCrash:
+		return "crash"
 	default:
 		return "unknown"
 	}
@@ -65,12 +75,16 @@ type FaultConfig struct {
 	RatePerSec float64
 	// Horizon bounds fault onsets: faults fire in [0, Horizon).
 	Horizon time.Duration
-	// POutage, PDeath and PBrownout weight the kind drawn per fault
-	// (normalized; all zero means the default 0.5/0.2/0.3 mix).
-	POutage, PDeath, PBrownout float64
+	// POutage, PDeath, PBrownout and PCrash weight the kind drawn per fault
+	// (normalized; outage/death/brownout all zero means the default
+	// 0.5/0.2/0.3 mix). PCrash > 0 requires the fleet's Durability journal;
+	// leaving it zero keeps the generated schedule bit-identical to builds
+	// without the crash fault class.
+	POutage, PDeath, PBrownout, PCrash float64
 	// MeanOutageSec and MeanBrownoutSec are the mean transient-fault lengths
-	// (exponential draws).
-	MeanOutageSec, MeanBrownoutSec float64
+	// (exponential draws); MeanCrashRestartSec is the mean worker restart
+	// time after a crash (default 5).
+	MeanOutageSec, MeanBrownoutSec, MeanCrashRestartSec float64
 	// BrownoutFactor is the latency multiplier applied during brownouts.
 	BrownoutFactor float64
 	// MaxDeaths caps permanent failures; generation always leaves at least
@@ -83,16 +97,17 @@ type FaultConfig struct {
 // mode a few times over a multi-minute serving window.
 func DefaultFaultConfig() FaultConfig {
 	return FaultConfig{
-		Seed:            1,
-		RatePerSec:      1.0 / 30,
-		Horizon:         120 * time.Second,
-		POutage:         0.5,
-		PDeath:          0.2,
-		PBrownout:       0.3,
-		MeanOutageSec:   8,
-		MeanBrownoutSec: 15,
-		BrownoutFactor:  2.5,
-		MaxDeaths:       1,
+		Seed:                1,
+		RatePerSec:          1.0 / 30,
+		Horizon:             120 * time.Second,
+		POutage:             0.5,
+		PDeath:              0.2,
+		PBrownout:           0.3,
+		MeanOutageSec:       8,
+		MeanBrownoutSec:     15,
+		MeanCrashRestartSec: 5,
+		BrownoutFactor:      2.5,
+		MaxDeaths:           1,
 	}
 }
 
@@ -113,10 +128,10 @@ func GenerateFaults(cfg FaultConfig, devices []string) ([]Fault, error) {
 		return nil, fmt.Errorf("fleet: fault schedule needs a positive horizon, got %v", cfg.Horizon)
 	}
 	def := DefaultFaultConfig()
-	if cfg.POutage == 0 && cfg.PDeath == 0 && cfg.PBrownout == 0 {
+	if cfg.POutage == 0 && cfg.PDeath == 0 && cfg.PBrownout == 0 && cfg.PCrash == 0 {
 		cfg.POutage, cfg.PDeath, cfg.PBrownout = def.POutage, def.PDeath, def.PBrownout
 	}
-	if cfg.POutage < 0 || cfg.PDeath < 0 || cfg.PBrownout < 0 {
+	if cfg.POutage < 0 || cfg.PDeath < 0 || cfg.PBrownout < 0 || cfg.PCrash < 0 {
 		return nil, fmt.Errorf("fleet: negative fault kind weight")
 	}
 	if cfg.MeanOutageSec <= 0 {
@@ -124,6 +139,9 @@ func GenerateFaults(cfg FaultConfig, devices []string) ([]Fault, error) {
 	}
 	if cfg.MeanBrownoutSec <= 0 {
 		cfg.MeanBrownoutSec = def.MeanBrownoutSec
+	}
+	if cfg.MeanCrashRestartSec <= 0 {
+		cfg.MeanCrashRestartSec = def.MeanCrashRestartSec
 	}
 	if cfg.BrownoutFactor <= 1 {
 		cfg.BrownoutFactor = def.BrownoutFactor
@@ -141,7 +159,7 @@ func GenerateFaults(cfg FaultConfig, devices []string) ([]Fault, error) {
 	dead := map[string]bool{}
 
 	r := rng.New(cfg.Seed).Fork("fleet/faults")
-	total := cfg.POutage + cfg.PDeath + cfg.PBrownout
+	total := cfg.POutage + cfg.PDeath + cfg.PBrownout + cfg.PCrash
 	var faults []Fault
 	at := time.Duration(0)
 	for {
@@ -152,13 +170,18 @@ func GenerateFaults(cfg FaultConfig, devices []string) ([]Fault, error) {
 		}
 		name := names[r.Intn(len(names))]
 		f := Fault{Device: name, At: at}
+		// With PCrash == 0 the brownout case absorbs the whole remaining mass
+		// (u < total always), so pre-crash configs draw bit-identical
+		// schedules.
 		switch u := r.Float64() * total; {
 		case u < cfg.POutage:
 			f.Kind = FaultOutage
 		case u < cfg.POutage+cfg.PDeath:
 			f.Kind = FaultDeath
-		default:
+		case u < cfg.POutage+cfg.PDeath+cfg.PBrownout:
 			f.Kind = FaultBrownout
+		default:
+			f.Kind = FaultCrash
 		}
 		// A death past the budget (or of an already-dead device) degrades to
 		// an outage, keeping the draw sequence intact.
@@ -173,6 +196,8 @@ func GenerateFaults(cfg FaultConfig, devices []string) ([]Fault, error) {
 		case FaultBrownout:
 			f.Duration = time.Duration(-math.Log(1-r.Float64()) * cfg.MeanBrownoutSec * float64(time.Second))
 			f.Factor = cfg.BrownoutFactor
+		case FaultCrash:
+			f.Duration = time.Duration(-math.Log(1-r.Float64()) * cfg.MeanCrashRestartSec * float64(time.Second))
 		}
 		faults = append(faults, f)
 	}
@@ -205,6 +230,15 @@ func (f *Fleet) expandFaults(faults []Fault) ([]faultEvent, error) {
 			}
 			if ft.Kind == FaultBrownout && ft.Factor <= 0 {
 				return nil, fmt.Errorf("fleet: brownout on %s needs a positive factor", ft.Device)
+			}
+			evs = append(evs, faultEvent{at: ft.At, fault: ft})
+			evs = append(evs, faultEvent{at: ft.At + ft.Duration, fault: ft, recovery: true})
+		case FaultCrash:
+			if ft.Duration < 0 {
+				return nil, fmt.Errorf("fleet: crash on %s has negative restart time %v", ft.Device, ft.Duration)
+			}
+			if f.durable == nil {
+				return nil, fmt.Errorf("fleet: crash on %s requires the Durability journal", ft.Device)
 			}
 			evs = append(evs, faultEvent{at: ft.At, fault: ft})
 			evs = append(evs, faultEvent{at: ft.At + ft.Duration, fault: ft, recovery: true})

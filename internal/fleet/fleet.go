@@ -57,6 +57,12 @@ type StreamRequest struct {
 	PeriodSec float64
 	// Policy builds the stream's decision logic on its serving device.
 	Policy PolicyFactory
+	// BestEffort marks a stream the fleet may shed under duress: when a crash
+	// destroys more capacity than the survivors can absorb, best-effort
+	// streams are dropped (keeping their partial results) so premium streams
+	// recover first. Default false: the stream is premium and must survive
+	// every recoverable fault.
+	BestEffort bool
 }
 
 // DeviceConfig describes one device of the fleet.
@@ -97,6 +103,7 @@ type Device struct {
 	downSince time.Duration
 	downSec   time.Duration
 	displaced int
+	crashes   int
 	brownouts []Fault
 
 	// Elasticity state: auto marks a device the autoscaler provisioned from
@@ -162,6 +169,9 @@ type activeSession struct {
 	// this device, so per-device frame totals credit each device with only
 	// the frames it actually served.
 	prevRecords int
+	// sinceJournal counts frames served since the stream's last durable
+	// checkpoint (meaningful only with Durability enabled).
+	sinceJournal int
 }
 
 // pending is one stream waiting for admission: a new arrival, or a displaced
@@ -216,6 +226,11 @@ type Config struct {
 	// Autoscale enables the SLO-driven elastic controller (nil: the fleet is
 	// fixed and behaves bit-identically to a build without the autoscaler).
 	Autoscale *AutoscaleConfig
+	// Durability enables the durable checkpoint journal, the recovery store
+	// crash faults restore from (nil: no journaling; crash faults are then
+	// rejected at schedule validation, and results are bit-identical to a
+	// build without the journal).
+	Durability *DurabilityConfig
 }
 
 // DeriveSeed returns the deterministic per-device seed used when a
@@ -253,6 +268,18 @@ type Fleet struct {
 	auto     *autoscaler
 	live     int
 	peakLive int
+
+	// Durability state (inert when durable == nil): journalStore maps each
+	// in-flight stream to its latest wire-encoded checkpoint, journalSeq
+	// stamps entries in write order, and the remaining fields meter journal
+	// traffic and crash recovery for the run result.
+	durable        *DurabilityConfig
+	journalStore   map[*StreamOutcome]*journalEntry
+	journalSeq     uint64
+	journalWrites  int
+	journalBytes   int64
+	crashes        int
+	replayedFrames int
 }
 
 // New assembles a fleet from its config.
@@ -269,12 +296,14 @@ func New(cfg Config) (*Fleet, error) {
 		place = NewRoundRobin()
 	}
 	f := &Fleet{
-		place:     place,
-		adm:       cfg.Admission,
-		seed:      cfg.Seed,
-		newSystem: newSystem,
-		evict:     cfg.Eviction,
-		affinity:  map[string]map[string]zoo.Pair{},
+		place:        place,
+		adm:          cfg.Admission,
+		seed:         cfg.Seed,
+		newSystem:    newSystem,
+		evict:        cfg.Eviction,
+		affinity:     map[string]map[string]zoo.Pair{},
+		durable:      cfg.Durability,
+		journalStore: map[*StreamOutcome]*journalEntry{},
 	}
 	seen := map[string]bool{}
 	for _, dc := range cfg.Devices {
@@ -382,11 +411,20 @@ type StreamOutcome struct {
 	// Aborted marks streams displaced by a fault that could never resume
 	// (every remaining device down); Stream then holds the partial records.
 	Aborted bool
+	// BestEffort echoes the request's serving class.
+	BestEffort bool
+	// Shed marks a best-effort stream the fleet dropped during crash recovery
+	// because the surviving devices lacked admission slack; Stream then holds
+	// the partial records its last checkpoint preserved.
+	Shed bool
 	// Migrations counts device moves after faults; DowntimeSec is the total
 	// time the stream spent displaced, waiting to resume.
 	Migrations  int
 	DowntimeSec float64
-	PeriodSec   float64
+	// ReplayedFrames counts frames served, lost to a crash (served after the
+	// last durable checkpoint) and served again after recovery.
+	ReplayedFrames int
+	PeriodSec      float64
 	// Stream holds the per-frame records and timings (nil when rejected).
 	Stream *runtime.StreamResult
 }
@@ -412,10 +450,11 @@ type DeviceStats struct {
 	PeakProc    string
 	// DownSec is the device's total unavailable time within the horizon;
 	// Dead marks permanent failure; Displaced counts streams checkpointed
-	// away by faults.
+	// away by faults; Crashes counts process-kill faults the device took.
 	DownSec   float64
 	Dead      bool
 	Displaced int
+	Crashes   int
 	// Elasticity: Auto marks a warm-pool device the autoscaler provisioned
 	// (ProvisionedSec is when); Retired marks a device it drained and parked
 	// (RetiredSec is when); Drained counts sessions migrated away by
@@ -454,6 +493,16 @@ type Result struct {
 	ScaleOuts   int
 	ScaleIns    int
 	PeakDevices int
+	// Durability counters (zero when the journal is off): Crashes is process
+	// kills taken, Shed the best-effort streams dropped during crash
+	// recovery, ReplayedFrames the work lost to crashes and served again,
+	// and JournalWrites/JournalBytes the checkpoint traffic the journal
+	// absorbed.
+	Crashes        int
+	Shed           int
+	ReplayedFrames int
+	JournalWrites  int
+	JournalBytes   int64
 }
 
 // Run serves the offered streams to completion on the fleet's global
@@ -594,6 +643,9 @@ func (f *Fleet) RunWithFaults(reqs []StreamRequest, faults []Fault) (*Result, er
 				return fail(err)
 			}
 			f.observeStep(step)
+			if err := f.observeDurable(step); err != nil {
+				return fail(err)
+			}
 		default:
 			// No departures, fault edges, arrivals or steppable sessions
 			// left; anything still queued can never be admitted — reject new
@@ -618,6 +670,8 @@ done:
 			res.Rejected++
 		case out.Aborted:
 			res.Aborted++
+		case out.Shed:
+			res.Shed++
 		default:
 			res.Served++
 		}
@@ -635,6 +689,10 @@ done:
 	if f.auto != nil {
 		res.ScaleOuts, res.ScaleIns = f.auto.outs, f.auto.ins
 	}
+	res.Crashes = f.crashes
+	res.ReplayedFrames = f.replayedFrames
+	res.JournalWrites = f.journalWrites
+	res.JournalBytes = f.journalBytes
 	for _, d := range f.devices {
 		res.Devices = append(res.Devices, f.deviceStats(d, res.Horizon))
 	}
@@ -698,6 +756,24 @@ func (f *Fleet) applyFault(ev faultEvent, queue *[]*pending) error {
 			d.downSince = ev.at
 			return f.displace(d, ev.at, queue)
 		}
+	case FaultCrash:
+		if ev.recovery {
+			// The worker process restarted: the device rejoins placement with
+			// a cold loader (residency was flushed at onset).
+			if !d.dead && d.down {
+				d.down = false
+				d.downSec += ev.at - d.downSince
+			}
+			return nil
+		}
+		if d.dead || d.down {
+			// Killing an already-down worker changes nothing: its sessions
+			// were evacuated or crashed out when it went down.
+			return nil
+		}
+		d.down = true
+		d.downSince = ev.at
+		return f.crash(d, ev.at, queue)
 	}
 	return nil
 }
@@ -759,10 +835,11 @@ func requeue(queue *[]*pending, moved []*pending) {
 // arrive runs admission + placement for one offered stream.
 func (f *Fleet) arrive(req *StreamRequest, at time.Duration, queue *[]*pending) (*StreamOutcome, error) {
 	out := &StreamOutcome{
-		Name:      req.Name,
-		Scenario:  req.Scenario,
-		Arrival:   req.Arrival,
-		PeriodSec: req.PeriodSec,
+		Name:       req.Name,
+		Scenario:   req.Scenario,
+		Arrival:    req.Arrival,
+		PeriodSec:  req.PeriodSec,
+		BestEffort: req.BestEffort,
 	}
 	cands := f.candidates()
 	if len(cands) == 0 {
@@ -846,10 +923,13 @@ func (f *Fleet) admit(p *pending, at time.Duration, cands []*Device) error {
 	out.Device = dev.Name
 	out.Devices = append(out.Devices, dev.Name)
 	f.seq++
-	dev.sessions = append(dev.sessions, &activeSession{
+	as := &activeSession{
 		sess: sess, dev: dev, out: out, seq: f.seq, req: req, prevRecords: carried,
-	})
-	return nil
+	}
+	dev.sessions = append(dev.sessions, as)
+	// Seed (or refresh, after a migration) the stream's durable checkpoint,
+	// so a crash can never catch it without one.
+	return f.journalOnAdmit(as)
 }
 
 // depart closes a completed stream's session, records its outcome, frees its
@@ -865,6 +945,7 @@ func (f *Fleet) depart(as *activeSession) {
 	}
 	sr := as.sess.Result()
 	as.out.Stream = sr
+	delete(f.journalStore, as.out)
 	d.served++
 	d.frames += len(sr.Result.Records) - as.prevRecords
 	if h := as.sess.Horizon(); h > d.horizon {
@@ -918,6 +999,7 @@ func (f *Fleet) deviceStats(d *Device, horizon time.Duration) DeviceStats {
 		Evicts:     d.DML.Stats().Evictions,
 		Dead:       d.dead,
 		Displaced:  d.displaced,
+		Crashes:    d.crashes,
 		Auto:       d.auto,
 		Retired:    d.retired,
 		Drained:    d.drained,

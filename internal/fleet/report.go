@@ -52,6 +52,17 @@ type Summary struct {
 	ScaleIns    int
 	Drained     int
 	PeakDevices int
+
+	// Durability metrics (zero when the checkpoint journal is off). Crashes
+	// counts worker-process kills, Shed the best-effort streams dropped
+	// during crash recovery, ReplayedFrames the frames lost to crashes and
+	// served again, and JournalWrites/JournalBytes the wire-format
+	// checkpoint traffic the journal absorbed.
+	Crashes        int
+	Shed           int
+	ReplayedFrames int
+	JournalWrites  int
+	JournalBytes   int64
 }
 
 // Summarize reduces a fleet result.
@@ -65,6 +76,12 @@ func Summarize(res *Result) Summary {
 		ScaleOuts:   res.ScaleOuts,
 		ScaleIns:    res.ScaleIns,
 		PeakDevices: res.PeakDevices,
+
+		Crashes:        res.Crashes,
+		Shed:           res.Shed,
+		ReplayedFrames: res.ReplayedFrames,
+		JournalWrites:  res.JournalWrites,
+		JournalBytes:   res.JournalBytes,
 	}
 	firstFault := time.Duration(-1)
 	for _, ft := range res.Faults {
@@ -79,6 +96,8 @@ func Summarize(res *Result) Summary {
 		if out.Rejected || out.Stream == nil {
 			continue
 		}
+		// Shed streams keep their checkpointed partials; those frames were
+		// genuinely served, so quality and latency count them.
 		admitted++
 		delaySum += out.QueueDelaySec()
 		downSum += out.DowntimeSec
@@ -175,6 +194,12 @@ func Report(res *Result) string {
 		head += fmt.Sprintf(
 			"\nAutoscale: %d scale-outs, %d scale-ins (↓=retired) | peak %d devices | %d sessions drained",
 			sum.ScaleOuts, sum.ScaleIns, sum.PeakDevices, sum.Drained)
+	}
+	if sum.JournalWrites > 0 {
+		head += fmt.Sprintf(
+			"\nDurability: %d crashes | %d frames replayed, %d best-effort shed | journal %d writes, %.1f KiB",
+			sum.Crashes, sum.ReplayedFrames, sum.Shed,
+			sum.JournalWrites, float64(sum.JournalBytes)/1024)
 	}
 	return head + "\n\n" +
 		textplot.Table("Per-device serving totals", rows) + "\n" +

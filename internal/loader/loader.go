@@ -345,6 +345,42 @@ func (l *Loader) TotalRefs() int {
 	return n
 }
 
+// Flush wipes every pool's residency in one stroke — the cold-restart
+// primitive behind the fleet's crash fault: a killed process's engine memory
+// simply vanishes, so nothing is "evicted" (cumulative stats are untouched)
+// and the pools return to empty. Flushing is refused while any engine is
+// reference-held: live sessions must be closed (their refs released) before
+// the device's state can be declared lost.
+func (l *Loader) Flush() error {
+	if n := l.TotalRefs(); n != 0 {
+		return fmt.Errorf("loader: flush with %d residency references held", n)
+	}
+	poolNames := make([]string, 0, len(l.resident))
+	for name := range l.resident {
+		poolNames = append(poolNames, name)
+	}
+	sort.Strings(poolNames)
+	for _, name := range poolNames {
+		pool, ok := l.sys.SoC.Pools[name]
+		m := l.resident[name]
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if !ok {
+				continue
+			}
+			if err := pool.Free(k); err != nil {
+				return fmt.Errorf("loader: flush pool %s: %w", name, err)
+			}
+		}
+		delete(l.resident, name)
+	}
+	return nil
+}
+
 // ResidentFallback returns a deterministic warm substitute for a refused
 // load: an already-resident engine in the pool backing requested.ProcID,
 // preferring engines of the requested processor kind, then lexical key

@@ -172,29 +172,37 @@ func (p *shiftPolicy) Reset(e *runtime.Engine) error {
 	return nil
 }
 
-// shiftState is the portable per-stream state of a SHIFT policy: the
-// scheduler's decision state plus the active pair.
-type shiftState struct {
-	sched *sched.State
-	cur   zoo.Pair
+// State is the portable per-stream state of a SHIFT policy: the scheduler's
+// decision state plus the active pair. It is exported so the durable
+// checkpoint wire format (internal/checkpoint) can serialize it.
+type State struct {
+	Sched *sched.State
+	Cur   zoo.Pair
 }
+
+// Models implements the optional model-listing contract runtime.RestoreSession
+// uses to validate a checkpoint against the target zoo up front: the active
+// pair's model must exist there, or the first step would fail deep inside
+// Acquire. Momentum-buffer models are deliberately excluded — the scheduler
+// interns unknown names on restore, exactly as Decide does.
+func (st *State) Models() []string { return []string{st.Cur.Model} }
 
 // SnapshotState implements runtime.PortablePolicy: SHIFT's per-stream state is
 // the scheduler's momentum/NCC state and the pair serving the next frame.
 func (p *shiftPolicy) SnapshotState() any {
-	return &shiftState{sched: p.scheduler.Snapshot(), cur: p.cur}
+	return &State{Sched: p.scheduler.Snapshot(), Cur: p.cur}
 }
 
 // RestoreState implements runtime.PortablePolicy. It runs instead of Reset on
 // a migrated stream, so no start-of-stream prefetch is charged — the session
 // restore re-acquires residency explicitly.
 func (p *shiftPolicy) RestoreState(state any) error {
-	st, ok := state.(*shiftState)
+	st, ok := state.(*State)
 	if !ok {
 		return fmt.Errorf("pipeline: foreign policy state %T", state)
 	}
-	p.scheduler.Restore(st.sched)
-	p.cur = st.cur
+	p.scheduler.Restore(st.Sched)
+	p.cur = st.Cur
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/experiments"
 	"repro/internal/loader"
 	"repro/internal/pipeline"
@@ -153,6 +154,77 @@ func TestSessionChurnConformance(t *testing.T) {
 			if tm.Arrival != refTm.Arrival || tm.Deadline != refTm.Deadline {
 				t.Fatalf("k=%d: timing %d schedule drifted: %+v vs %+v", k, i, tm, refTm)
 			}
+		}
+		if err := b.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if n := dmlB.TotalRefs(); n != 0 {
+			t.Fatalf("k=%d: target device leaked %d refs", k, n)
+		}
+	}
+}
+
+// TestSessionChurnWireConformance extends the churn contract across the
+// durable wire format: Open → Step×k → Drain → checkpoint.Encode → Decode →
+// Restore must reproduce the uninterrupted run's golden decision digest at
+// every split point, exactly as the in-memory snapshot path does. Drift here
+// means the serialization lost decision state the in-memory path carries.
+func TestSessionChurnWireConformance(t *testing.T) {
+	env, frames := churnFixture(t)
+
+	for _, k := range []int{0, 41, len(frames) - 1} {
+		a, _, dmlA := shiftSession(t, env, frames)
+		for i := 0; i < k; i++ {
+			if err := a.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		snap, err := a.Drain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := dmlA.TotalRefs(); n != 0 {
+			t.Fatalf("k=%d: source device holds %d refs after drain", k, n)
+		}
+
+		wire, err := checkpoint.EncodeSnapshot(snap, "scenario2", env.Seed, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := checkpoint.Decode(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := c.Snapshot(frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		sysB := zoo.Default(1)
+		dmlB := loader.New(sysB, loader.EvictLRR)
+		polB, err := pipeline.NewPolicy(sysB, env.Ch, env.Graph, pipeline.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var at time.Duration
+		if k > 0 {
+			at = decoded.Partial().Timings[k-1].Done
+		}
+		b, err := runtime.RestoreSession(sysB, dmlB, decoded, polB, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for !b.Done() {
+			if err := b.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		h := fnv.New64a()
+		for _, rec := range b.Result().Result.Records {
+			fmt.Fprintln(h, decisionFields(rec))
+		}
+		if got := h.Sum64(); got != goldenChurnDecisions {
+			t.Fatalf("k=%d: wire round-trip decision digest %#x, golden %#x", k, got, goldenChurnDecisions)
 		}
 		if err := b.Close(); err != nil {
 			t.Fatal(err)

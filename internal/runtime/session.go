@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/loader"
+	"repro/internal/scene"
 	"repro/internal/zoo"
 )
 
@@ -35,6 +36,10 @@ type Session struct {
 	// prev tracks the previous frame's pair for swap flagging.
 	prev   zoo.Pair
 	closed bool
+	// drained caches the checkpoint Drain took, making Drain idempotent: the
+	// fault and scale-in paths may race a departure and drain twice, and both
+	// callers must get the same fork point, never a double-serving one.
+	drained *SessionSnapshot
 }
 
 // newSession validates a spec and builds its unstarted session. The policy's
@@ -177,6 +182,10 @@ func (s *Session) Step() error {
 type SessionSnapshot struct {
 	spec StreamSpec
 	name string
+	// policyName is recorded at snapshot time so Partial and serialization
+	// work on snapshots whose spec carries no live policy instance (e.g. one
+	// decoded from the durable wire format before restore).
+	policyName string
 
 	next       int
 	base, done time.Duration
@@ -207,10 +216,14 @@ func (sn *SessionSnapshot) Held() (zoo.Pair, bool) { return sn.held, sn.haveHeld
 // Partial returns the records and timings served up to the checkpoint — the
 // stream's results when it can never be resumed (every device dead).
 func (sn *SessionSnapshot) Partial() *StreamResult {
+	method := sn.policyName
+	if method == "" && sn.spec.Policy != nil {
+		method = sn.spec.Policy.Name()
+	}
 	return &StreamResult{
 		Name: sn.name,
 		Result: &Result{
-			Method:   sn.spec.Policy.Name(),
+			Method:   method,
 			Scenario: sn.name,
 			Records:  sn.records,
 		},
@@ -224,17 +237,18 @@ func (sn *SessionSnapshot) Partial() *StreamResult {
 // remains usable; a checkpoint is a fork point, not a close.
 func (s *Session) Snapshot() *SessionSnapshot {
 	sn := &SessionSnapshot{
-		spec:     s.spec,
-		name:     s.res.Name,
-		next:     s.next,
-		base:     s.base,
-		done:     s.done,
-		deadline: s.deadline,
-		prev:     s.prev,
-		records:  append([]FrameRecord(nil), s.res.Result.Records...),
-		timings:  append([]FrameTiming(nil), s.res.Timings...),
-		held:     s.eng.held,
-		haveHeld: s.eng.haveHeld,
+		spec:       s.spec,
+		name:       s.res.Name,
+		policyName: s.spec.Policy.Name(),
+		next:       s.next,
+		base:       s.base,
+		done:       s.done,
+		deadline:   s.deadline,
+		prev:       s.prev,
+		records:    append([]FrameRecord(nil), s.res.Result.Records...),
+		timings:    append([]FrameTiming(nil), s.res.Timings...),
+		held:       s.eng.held,
+		haveHeld:   s.eng.haveHeld,
 	}
 	if pp, ok := s.spec.Policy.(PortablePolicy); ok {
 		sn.policyState = pp.SnapshotState()
@@ -260,6 +274,9 @@ func (s *Session) Snapshot() *SessionSnapshot {
 func RestoreSession(sys *zoo.System, dml *loader.Loader, snap *SessionSnapshot, pol Policy, at time.Duration) (*Session, error) {
 	if pol == nil {
 		return nil, fmt.Errorf("runtime: restore stream %q with no policy", snap.name)
+	}
+	if err := snap.validateModels(sys); err != nil {
+		return nil, err
 	}
 	if at < snap.done {
 		at = snap.done
@@ -311,14 +328,148 @@ func RestoreSession(sys *zoo.System, dml *loader.Loader, snap *SessionSnapshot, 
 // autoscaler is decommissioning it. The returned snapshot carries everything
 // RestoreSession needs to resume the stream elsewhere, and the session's
 // residency holds are released, so the drained device's loader ends
-// refs-clean. Draining an already-closed session is an error: its holds are
-// gone and a second checkpoint could double-serve frames.
+// refs-clean.
+//
+// Drain is idempotent: the fault and scale-in paths can race a departure and
+// drain the same session twice, and both callers must see the same fork
+// point — a second Drain returns the cached first checkpoint, never a fresh
+// one that could double-serve frames. Draining a just-opened session (zero
+// frames stepped) is equally fine: the snapshot simply carries no records.
+// Only a session closed without ever draining refuses, since its holds are
+// gone and no checkpoint was taken.
 func (s *Session) Drain() (*SessionSnapshot, error) {
+	if s.drained != nil {
+		return s.drained, nil
+	}
 	if s.closed {
 		return nil, fmt.Errorf("runtime: drain closed stream %s", s.res.Name)
 	}
-	snap := s.Snapshot()
-	return snap, s.Close()
+	s.drained = s.Snapshot()
+	return s.drained, s.Close()
+}
+
+// ErrUnknownModel reports a checkpoint that names a model or engine absent
+// from the target device's zoo. RestoreSession surfaces it up front, before
+// any platform charge, so the fleet layer can fail the placement cleanly
+// instead of dying deep inside the first Step.
+var ErrUnknownModel = errors.New("runtime: checkpoint names a model unknown to this zoo")
+
+// validateModels checks every model the checkpoint would touch on resume —
+// the held engine, the previous frame's pair, and whatever the portable
+// policy state reports — against the target zoo.
+func (sn *SessionSnapshot) validateModels(sys *zoo.System) error {
+	check := func(model string) error {
+		if model == "" {
+			return nil
+		}
+		if _, err := sys.Entry(model); err != nil {
+			return fmt.Errorf("%w: stream %q needs %q", ErrUnknownModel, sn.name, model)
+		}
+		return nil
+	}
+	if sn.haveHeld {
+		if err := check(sn.held.Model); err != nil {
+			return err
+		}
+	}
+	if err := check(sn.prev.Model); err != nil {
+		return err
+	}
+	if lister, ok := sn.policyState.(interface{ Models() []string }); ok {
+		for _, m := range lister.Models() {
+			if err := check(m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SnapshotData is the exported, serialization-friendly view of a
+// SessionSnapshot: every field the durable wire format (internal/checkpoint)
+// must carry to resume the stream in another process. Frames travel by
+// reference — FrameCount pins how many the stream had, and the decoder
+// re-supplies the rendered frames (scenarios are deterministic per seed) —
+// because inlining pixel data would dwarf the checkpoint. Slices are shared
+// with the snapshot; callers serialize or copy, they do not mutate.
+type SnapshotData struct {
+	Name       string
+	PolicyName string
+	PeriodSec  float64
+	// FrameCount is the stream's total frame count; the frames themselves
+	// are re-supplied at decode time.
+	FrameCount int
+
+	Next                 int
+	Base, Done, Deadline time.Duration
+	Prev                 zoo.Pair
+
+	Records []FrameRecord
+	Timings []FrameTiming
+
+	// PolicyState is the portable policy state exactly as SnapshotState
+	// returned it; the checkpoint layer knows the concrete types it encodes.
+	PolicyState any
+	Held        zoo.Pair
+	HaveHeld    bool
+}
+
+// Data exposes the snapshot for serialization.
+func (sn *SessionSnapshot) Data() *SnapshotData {
+	return &SnapshotData{
+		Name:        sn.name,
+		PolicyName:  sn.policyName,
+		PeriodSec:   sn.spec.PeriodSec,
+		FrameCount:  len(sn.spec.Frames),
+		Next:        sn.next,
+		Base:        sn.base,
+		Done:        sn.done,
+		Deadline:    sn.deadline,
+		Prev:        sn.prev,
+		Records:     sn.records,
+		Timings:     sn.timings,
+		PolicyState: sn.policyState,
+		Held:        sn.held,
+		HaveHeld:    sn.haveHeld,
+	}
+}
+
+// SnapshotFromData rebuilds a SessionSnapshot from its serialized view plus
+// the externally re-supplied frames (checkpoints carry frames by reference).
+// The cursor must be consistent with the frame count; the caller picks the
+// policy when it restores, so the rebuilt spec carries none.
+func SnapshotFromData(d *SnapshotData, frames []scene.Frame) (*SessionSnapshot, error) {
+	if len(frames) != d.FrameCount {
+		return nil, fmt.Errorf("runtime: snapshot %q expects %d frames, resupplied %d",
+			d.Name, d.FrameCount, len(frames))
+	}
+	if d.Next < 0 || d.Next > d.FrameCount {
+		return nil, fmt.Errorf("runtime: snapshot %q cursor %d outside 0..%d",
+			d.Name, d.Next, d.FrameCount)
+	}
+	if len(d.Records) != len(d.Timings) {
+		return nil, fmt.Errorf("runtime: snapshot %q has %d records but %d timings",
+			d.Name, len(d.Records), len(d.Timings))
+	}
+	return &SessionSnapshot{
+		spec: StreamSpec{
+			Name:      d.Name,
+			Frames:    frames,
+			PeriodSec: d.PeriodSec,
+		},
+		name:        d.Name,
+		policyName:  d.PolicyName,
+		next:        d.Next,
+		base:        d.Base,
+		done:        d.Done,
+		deadline:    d.Deadline,
+		prev:        d.Prev,
+		records:     d.Records,
+		timings:     d.Timings,
+		policyState: d.PolicyState,
+		held:        d.Held,
+		haveHeld:    d.HaveHeld,
+	}, nil
 }
 
 // Close releases the session's residency hold so the shared pools end clean.

@@ -1,6 +1,10 @@
 package sched
 
-import "repro/internal/img"
+import (
+	"fmt"
+
+	"repro/internal/img"
+)
 
 // State is a portable checkpoint of a scheduler's per-stream decision state:
 // the momentum buffers and averages, the NCC history (previous frame, previous
@@ -50,6 +54,70 @@ func (s *Scheduler) Snapshot() *State {
 		st.lastBox = s.lastBox.Clone()
 	}
 	return st
+}
+
+// StateData is the exported, serialization-friendly view of a State: every
+// field a durable wire format must carry to rebuild the decision state on
+// another process. Slices and images are shared with the State it came from —
+// callers serialize or copy, they do not mutate.
+type StateData struct {
+	// Models keys the momentum entries: Bufs[i], RVals[i], RSet[i] and
+	// Valid[i] belong to Models[i], so interning order never matters.
+	Models []string
+	Bufs   [][]float64
+	RVals  []float64
+	RSet   []bool
+	Valid  []bool
+	// LastImg and LastBox are the NCC history (previous frame and previous
+	// box crop) with their cached pixel moments.
+	LastImg, LastBox *img.Image
+	ImgSum, ImgSumSq uint64
+	BoxSum, BoxSumSq uint64
+	BoxFlip          int
+}
+
+// Data exposes the snapshot for serialization.
+func (st *State) Data() *StateData {
+	return &StateData{
+		Models:   st.models,
+		Bufs:     st.bufs,
+		RVals:    st.rVals,
+		RSet:     st.rSet,
+		Valid:    st.valid,
+		LastImg:  st.lastImg,
+		LastBox:  st.lastBox,
+		ImgSum:   st.imgSum,
+		ImgSumSq: st.imgSumSq,
+		BoxSum:   st.boxSum,
+		BoxSumSq: st.boxSumSq,
+		BoxFlip:  st.boxFlip,
+	}
+}
+
+// StateFromData rebuilds a State from its serialized view — the decode half
+// of the durable checkpoint format. The per-model slices must be mutually
+// consistent (one entry per model); Restore tolerates models unknown to the
+// target zoo by interning them, exactly as the live path does.
+func StateFromData(d *StateData) (*State, error) {
+	n := len(d.Models)
+	if len(d.Bufs) != n || len(d.RVals) != n || len(d.RSet) != n || len(d.Valid) != n {
+		return nil, fmt.Errorf("sched: inconsistent state data: %d models, %d/%d/%d/%d momentum entries",
+			n, len(d.Bufs), len(d.RVals), len(d.RSet), len(d.Valid))
+	}
+	return &State{
+		models:   d.Models,
+		bufs:     d.Bufs,
+		rVals:    d.RVals,
+		rSet:     d.RSet,
+		valid:    d.Valid,
+		lastImg:  d.LastImg,
+		lastBox:  d.LastBox,
+		imgSum:   d.ImgSum,
+		imgSumSq: d.ImgSumSq,
+		boxSum:   d.BoxSum,
+		boxSumSq: d.BoxSumSq,
+		boxFlip:  d.BoxFlip,
+	}, nil
 }
 
 // Restore replaces the scheduler's per-stream decision state with a snapshot,
