@@ -442,6 +442,37 @@ func BenchmarkAutoscaleSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkScaleSweep runs a reduced fleet-scale grid — a 100-device fleet
+// serving 5 000 streams over a compressed diurnal hour on the legacy scan,
+// the indexed heap, and a 4-region shard — and logs the event-loop headline:
+// events/sec per selector and the heap's wall-clock speedup. The full
+// 1 000-device / 100 000-stream flagship runs in cmd/bench.
+func BenchmarkScaleSweep(b *testing.B) {
+	e := env(b)
+	cfg := experiments.ScaleSweepConfig{
+		Cells: []experiments.ScaleSweepCell{
+			{Devices: 100, Streams: 5000, LegacyScan: true},
+			{Devices: 100, Streams: 5000},
+			{Devices: 100, Streams: 5000, Regions: 4},
+		},
+		SpanSec: 1800,
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ScaleSweep(e, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			scan, _ := res.Row(100, 1, true)
+			heap, _ := res.Row(100, 1, false)
+			sharded, _ := res.Row(100, 4, false)
+			b.Logf("scale @100 devices: scan %.0f ev/s | heap %.0f ev/s (%.2fx) | 4-region %.0f ev/s, %d events, served %d/%d",
+				scan.EventsPerSec, heap.EventsPerSec, heap.EventsPerSec/scan.EventsPerSec,
+				sharded.EventsPerSec, heap.Events, heap.Served, heap.Served+heap.Rejected)
+		}
+	}
+}
+
 // BenchmarkSHIFTFrame measures the per-frame cost of the full SHIFT loop
 // (load + exec + detect + decide) on the harness itself.
 func BenchmarkSHIFTFrame(b *testing.B) {

@@ -31,7 +31,11 @@
 //     devices on tail-latency or queue breaches and decommissions idle
 //     ones via drain-based scale-in; one global deterministic event loop
 //     interleaves arrivals, frame steps, departures, fault edges and
-//     scale ticks across devices. With fleet.DurabilityConfig set, every
+//     scale ticks across devices, selecting each next event from an
+//     indexed min-heap keyed (time, kind, device, seq) — and, with
+//     fleet.Config.Regions > 1, advancing device shards in parallel
+//     between globally-ordered barrier events, bit-identical at every
+//     region count. With fleet.DurabilityConfig set, every
 //     session is journaled through the checkpoint wire format and a
 //     fourth fault kind — crash — kills a device's worker process and
 //     recovers its streams from journal bytes (best-effort streams shed
@@ -53,8 +57,11 @@
 //     multi-device fleet grid (experiments.FleetSweep), the
 //     fault-tolerance grid (experiments.FaultSweep), the elasticity
 //     grid (experiments.AutoscaleSweep: fixed vs autoscaled fleets under
-//     burst and diurnal workload shapes) and the crash-recovery grid
-//     (experiments.CrashSweep: kill-and-recover on a journaled fleet).
+//     burst and diurnal workload shapes), the crash-recovery grid
+//     (experiments.CrashSweep: kill-and-recover on a journaled fleet) and
+//     the fleet-scale grid (experiments.ScaleSweep: day-long diurnal
+//     traces on fleets up to 1 000 devices / 100 000 streams, measuring
+//     the event loop's wall-clock events/sec per selector).
 //   - cmd/: shiftsim, characterize, sweep, figures, bench, render, report,
 //     fleetsim.
 //   - examples/: quickstart, dronechase, energybudget, customzoo, livefeed,

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickScaleSweepConfig shrinks the grid to unit-test size: a 4-device fleet
+// serving 200 streams over a compressed two-minute "day", measured on the
+// legacy scan, the heap, and a 2-region shard of the same trace.
+func quickScaleSweepConfig() ScaleSweepConfig {
+	cfg := DefaultScaleSweepConfig()
+	cfg.Cells = []ScaleSweepCell{
+		{Devices: 4, Streams: 200, LegacyScan: true},
+		{Devices: 4, Streams: 200},
+		{Devices: 4, Streams: 200, Regions: 2},
+	}
+	cfg.SpanSec = 120
+	return cfg
+}
+
+// TestScaleSweepSelectorsAgree pins the sweep's core claim: every selector
+// variant of the same cell shape reports bit-identical simulated results —
+// only the wall-clock columns may differ — and the trace actually saturates
+// enough to measure (nonzero events, frames, horizon near the span).
+func TestScaleSweepSelectorsAgree(t *testing.T) {
+	env, err := Shared()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ScaleSweep(env, quickScaleSweepConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(res.Rows))
+	}
+	ref := res.Rows[0]
+	if ref.Served == 0 || ref.Frames == 0 || ref.Events == 0 {
+		t.Fatalf("reference cell served nothing: %+v", ref)
+	}
+	if ref.HorizonSec < ref.SpanSec/2 {
+		t.Fatalf("horizon %.1fs never approached the %.0fs span — trace too sparse to measure",
+			ref.HorizonSec, ref.SpanSec)
+	}
+	for i, row := range res.Rows[1:] {
+		if row.Served != ref.Served || row.Rejected != ref.Rejected ||
+			row.Frames != ref.Frames || row.Events != ref.Events ||
+			row.HorizonSec != ref.HorizonSec ||
+			row.LatencyP50Sec != ref.LatencyP50Sec ||
+			row.LatencyP99Sec != ref.LatencyP99Sec ||
+			row.DeadlineMissRate != ref.DeadlineMissRate {
+			t.Fatalf("row %d diverges from the legacy baseline:\n%+v\n%+v", i+1, ref, row)
+		}
+	}
+	for _, row := range res.Rows {
+		if row.WallSec <= 0 || row.EventsPerSec <= 0 {
+			t.Fatalf("non-positive wall-clock measurement: %+v", row)
+		}
+	}
+	report := res.Report()
+	if !strings.Contains(report, "scan") || !strings.Contains(report, "heap") ||
+		!strings.Contains(report, "x") {
+		t.Fatalf("report missing selector rows or speedup column:\n%s", report)
+	}
+}
+
+// TestScaleSweepValidation covers the config contracts.
+func TestScaleSweepValidation(t *testing.T) {
+	env, err := Shared()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*ScaleSweepConfig){
+		func(c *ScaleSweepConfig) { c.DiurnalAmp = 1.5 },
+		func(c *ScaleSweepConfig) { c.SpanSec = -1 },
+		func(c *ScaleSweepConfig) { c.Cells = []ScaleSweepCell{{Devices: 0, Streams: 10}} },
+		func(c *ScaleSweepConfig) { c.Cells = []ScaleSweepCell{{Devices: 2, Streams: -1}} },
+	}
+	for i, mut := range bad {
+		cfg := quickScaleSweepConfig()
+		mut(&cfg)
+		if _, err := ScaleSweep(env, cfg); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}

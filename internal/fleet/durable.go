@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/checkpoint"
+	"repro/internal/runtime"
 )
 
 // DurabilityConfig enables the durable checkpoint journal — the in-process
@@ -54,6 +55,19 @@ type journalEntry struct {
 // real coordinator would persist, so journal size metrics are honest.
 func (f *Fleet) writeJournal(as *activeSession) error {
 	snap := as.sess.Snapshot()
+	// Snapshot is a read barrier on the session: refresh the cached event
+	// view (and heap slot), per the cache invariant.
+	as.refresh()
+	f.retrack(as)
+	return f.commitJournal(as, snap)
+}
+
+// commitJournal stamps the next global journal sequence number and encodes
+// and stores the entry — split from the snapshot so region advances can
+// snapshot at the step and encode at the merge, keeping the embedded
+// sequence numbers (and so the exact journal bytes) identical to a
+// sequential run.
+func (f *Fleet) commitJournal(as *activeSession, snap *runtime.SessionSnapshot) error {
 	f.journalSeq++
 	data, err := checkpoint.EncodeSnapshot(snap, as.req.Scenario, f.durable.RenderSeed, map[string]uint64{
 		"journal_seq": f.journalSeq,
@@ -68,17 +82,26 @@ func (f *Fleet) writeJournal(as *activeSession) error {
 	return nil
 }
 
-// observeDurable advances the per-stream journal cadence after a served
-// frame.
-func (f *Fleet) observeDurable(as *activeSession) error {
+// journalDue advances the per-stream journal cadence after a served frame
+// and reports whether a checkpoint write is due.
+func (f *Fleet) journalDue(as *activeSession) bool {
 	if f.durable == nil {
-		return nil
+		return false
 	}
 	as.sinceJournal++
 	if as.sinceJournal < f.durable.every() {
-		return nil
+		return false
 	}
 	as.sinceJournal = 0
+	return true
+}
+
+// observeDurable advances the per-stream journal cadence after a served
+// frame.
+func (f *Fleet) observeDurable(as *activeSession) error {
+	if !f.journalDue(as) {
+		return nil
+	}
 	return f.writeJournal(as)
 }
 
@@ -104,6 +127,7 @@ func (f *Fleet) crash(d *Device, at time.Duration, queue *[]*pending) error {
 	f.crashes++
 	moved := make([]*pending, 0, len(d.sessions))
 	for _, as := range d.sessions {
+		f.untrack(as)
 		entry := f.journalStore[as.out]
 		if entry == nil {
 			return fmt.Errorf("fleet: crash on %s: stream %s has no journaled checkpoint", d.Name, as.out.Name)

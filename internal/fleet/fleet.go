@@ -87,6 +87,11 @@ type Device struct {
 	Sys   *zoo.System
 	DML   *loader.Loader
 
+	// region is the device's event-heap shard (see Config.Regions), fixed
+	// at build time by name hash so listing order cannot move a device
+	// between regions.
+	region int
+
 	sessions []*activeSession
 	served   int
 	frames   int
@@ -140,7 +145,7 @@ func (d *Device) AutoProvisioned() bool { return d.auto }
 func (d *Device) OutstandingFrames() int {
 	n := 0
 	for _, as := range d.sessions {
-		n += as.sess.Remaining()
+		n += as.left
 	}
 	return n
 }
@@ -149,8 +154,8 @@ func (d *Device) OutstandingFrames() int {
 func (d *Device) Horizon() time.Duration {
 	h := d.horizon
 	for _, as := range d.sessions {
-		if t := as.sess.Horizon(); t > h {
-			h = t
+		if as.horizon > h {
+			h = as.horizon
 		}
 	}
 	return h
@@ -172,6 +177,33 @@ type activeSession struct {
 	// sinceJournal counts frames served since the stream's last durable
 	// checkpoint (meaningful only with Durability enabled).
 	sinceJournal int
+
+	// Cached event view: ReadyAt/Horizon/Done/Remaining mirrored from the
+	// session, refreshed only on the transitions that can change them
+	// (admission, Step, Snapshot, Drain, displacement, TimeScale change), so
+	// neither the event loop nor the placement signals recompute through the
+	// session per comparison. heapPos is the session's slot in its region's
+	// event heap (-1 when not enqueued).
+	readyAt  time.Duration
+	horizon  time.Duration
+	finished bool
+	left     int
+	heapPos  int
+}
+
+// refresh re-mirrors the cached event view from the live session. Every
+// transition that can move ReadyAt/Horizon/Done/Remaining must call it (the
+// auditSessionCache test hook panics otherwise).
+func (as *activeSession) refresh() {
+	s := as.sess
+	as.finished = s.Done()
+	as.horizon = s.Horizon()
+	as.left = s.Remaining()
+	if as.finished {
+		as.readyAt = as.horizon
+	} else {
+		as.readyAt = s.ReadyAt()
+	}
 }
 
 // pending is one stream waiting for admission: a new arrival, or a displaced
@@ -231,6 +263,24 @@ type Config struct {
 	// rejected at schedule validation, and results are bit-identical to a
 	// build without the journal).
 	Durability *DurabilityConfig
+	// Regions shards the devices into R groups that advance in parallel
+	// (via internal/par) between globally-ordered cross-region events —
+	// arrivals, fault edges, scale ticks and queue-draining admissions.
+	// Results are bit-identical for every region count and worker count;
+	// <= 1 keeps the event loop fully sequential.
+	Regions int
+	// OnDepart, when set, is invoked with each completing stream's outcome
+	// in global event order, after the fleet's own bookkeeping. Large-scale
+	// sweeps reduce outcomes incrementally and set out.Stream = nil to
+	// release the per-frame records — the fleet never reads a departed
+	// stream's records again, and the run's Horizon is tracked
+	// independently. Rejected, aborted and shed streams do not pass through
+	// the hook.
+	OnDepart func(*StreamOutcome)
+	// LegacyScan pins event selection to the pre-heap O(devices × sessions)
+	// rescan. Results are bit-identical either way — the scan survives only
+	// as the equivalence-test oracle and the scale sweep's baseline.
+	LegacyScan bool
 }
 
 // DeriveSeed returns the deterministic per-device seed used when a
@@ -280,6 +330,21 @@ type Fleet struct {
 	journalBytes   int64
 	crashes        int
 	replayedFrames int
+
+	// Event-loop state: nregions/regions hold the sharded session-event
+	// heaps (one region when sharding is off); legacyScan pins the selector
+	// to the rescan; auditCache (tests only) cross-checks every cached
+	// session view before each selection; events counts processed loop
+	// events; resHorizon accumulates departure completion times so
+	// Result.Horizon survives outcomes whose records an OnDepart hook
+	// released.
+	nregions   int
+	regions    []*region
+	legacyScan bool
+	auditCache bool
+	onDepart   func(*StreamOutcome)
+	resHorizon time.Duration
+	events     int64
 }
 
 // New assembles a fleet from its config.
@@ -295,6 +360,9 @@ func New(cfg Config) (*Fleet, error) {
 	if place == nil {
 		place = NewRoundRobin()
 	}
+	if cfg.Regions < 0 {
+		return nil, fmt.Errorf("fleet: negative region count %d", cfg.Regions)
+	}
 	f := &Fleet{
 		place:        place,
 		adm:          cfg.Admission,
@@ -304,6 +372,12 @@ func New(cfg Config) (*Fleet, error) {
 		affinity:     map[string]map[string]zoo.Pair{},
 		durable:      cfg.Durability,
 		journalStore: map[*StreamOutcome]*journalEntry{},
+		nregions:     max(1, cfg.Regions),
+		legacyScan:   cfg.LegacyScan,
+		onDepart:     cfg.OnDepart,
+	}
+	for i := 0; i < f.nregions; i++ {
+		f.regions = append(f.regions, &region{})
 	}
 	seen := map[string]bool{}
 	for _, dc := range cfg.Devices {
@@ -368,10 +442,11 @@ func (f *Fleet) buildDevice(dc DeviceConfig, poolMB int64) (*Device, error) {
 		sys.SoC.Pools[accel.SoCPoolName] = accel.NewMemPool(accel.SoCPoolName, poolMB*accel.MB)
 	}
 	return &Device{
-		Name:  dc.Name,
-		Scale: scale,
-		Sys:   sys,
-		DML:   loader.New(sys, f.evict),
+		Name:   dc.Name,
+		Scale:  scale,
+		Sys:    sys,
+		DML:    loader.New(sys, f.evict),
+		region: regionIndex(dc.Name, f.nregions),
 	}, nil
 }
 
@@ -503,6 +578,10 @@ type Result struct {
 	ReplayedFrames int
 	JournalWrites  int
 	JournalBytes   int64
+	// Events counts processed loop events (arrivals, steps, departures,
+	// fault edges, scale ticks) — the denominator of the scale sweep's
+	// wall-clock events/sec. Deterministic per config and seed.
+	Events int64
 }
 
 // Run serves the offered streams to completion on the fleet's global
@@ -552,101 +631,34 @@ func (f *Fleet) RunWithFaults(reqs []StreamRequest, faults []Fault) (*Result, er
 	var queue []*pending
 
 	fail := func(err error) (*Result, error) {
+		// Close every device-resident session and release the journal
+		// entries of both the in-flight streams and the checkpoints still
+		// parked in the admission queue (re-queued displaced streams carry
+		// checkpoint state) — a failed run must not leak either.
 		for _, d := range f.devices {
 			for _, as := range d.sessions {
 				err = errors.Join(err, as.sess.Close())
+				delete(f.journalStore, as.out)
 			}
+		}
+		for _, p := range queue {
+			delete(f.journalStore, p.out)
 		}
 		return nil, err
 	}
 
 	for {
-		// Earliest departure and earliest step across devices (name order).
-		var dep, step *activeSession
-		var depAt, stepAt time.Duration
-		for _, d := range f.devices {
-			for _, as := range d.sessions {
-				if as.sess.Done() {
-					if t := as.sess.Horizon(); dep == nil || t < depAt {
-						dep, depAt = as, t
-					}
-				} else {
-					if t := as.sess.ReadyAt(); step == nil || t < stepAt {
-						step, stepAt = as, t
-					}
-				}
+		if f.nregions > 1 && !f.legacyScan && len(queue) == 0 {
+			// Advance all regions in parallel up to the next global event.
+			// Admissions happen only at global events, so a non-empty queue
+			// pins the loop sequential until it drains (a departure could
+			// otherwise admit a stream mid-interval on another region).
+			if err := f.advanceRegions(reqs, order, next, fevs, fi); err != nil {
+				return fail(err)
 			}
 		}
-		var arrAt time.Duration
-		haveArr := next < len(order)
-		if haveArr {
-			arrAt = reqs[order[next]].Arrival
-		}
-		var faultAt time.Duration
-		haveFault := fi < len(fevs)
-		if haveFault {
-			faultAt = fevs[fi].at
-		}
-		// Scale ticks fire only while the simulation still has anything to
-		// serve or wait for — and stop for good once a tick could not act on
-		// an otherwise-idle fleet, so an unservable queue falls through to
-		// the terminal rejection below instead of ticking forever.
-		var scaleAt time.Duration
-		haveScale := f.auto != nil && !f.auto.exhausted &&
-			(dep != nil || step != nil || haveArr || haveFault || len(queue) > 0)
-		if haveScale {
-			scaleAt = f.auto.nextAt
-		}
-
-		switch {
-		case dep != nil && (!haveFault || depAt <= faultAt) && (!haveScale || depAt <= scaleAt) && (!haveArr || depAt <= arrAt) && (step == nil || depAt <= stepAt):
-			f.depart(dep)
-			if err := f.drainQueue(&queue, depAt); err != nil {
-				return fail(err)
-			}
-		case haveFault && (!haveScale || faultAt <= scaleAt) && (!haveArr || faultAt <= arrAt) && (step == nil || faultAt <= stepAt):
-			ev := fevs[fi]
-			fi++
-			if err := f.applyFault(ev, &queue); err != nil {
-				return fail(err)
-			}
-			if err := f.drainQueue(&queue, ev.at); err != nil {
-				return fail(err)
-			}
-		case haveScale && (!haveArr || scaleAt <= arrAt) && (step == nil || scaleAt <= stepAt):
-			// When no departure, fault, arrival or step remains, only
-			// provisioning can ever serve the queue — the tick must try
-			// regardless of QueueHighWater, and if even that cannot act,
-			// the scale stream ends so the queue falls through to the
-			// terminal rejection below.
-			lastResort := dep == nil && step == nil && !haveArr && !haveFault
-			acted, err := f.scaleTick(scaleAt, &queue, lastResort)
-			if err != nil {
-				return fail(err)
-			}
-			if !acted && lastResort {
-				f.auto.exhausted = true
-			}
-			if err := f.drainQueue(&queue, scaleAt); err != nil {
-				return fail(err)
-			}
-		case haveArr && (step == nil || arrAt <= stepAt):
-			req := &reqs[order[next]]
-			next++
-			out, err := f.arrive(req, arrAt, &queue)
-			if err != nil {
-				return fail(err)
-			}
-			outcomes = append(outcomes, out)
-		case step != nil:
-			if err := step.sess.Step(); err != nil {
-				return fail(err)
-			}
-			f.observeStep(step)
-			if err := f.observeDurable(step); err != nil {
-				return fail(err)
-			}
-		default:
+		pick, ok := f.nextEvent(reqs, order, next, fevs, fi, len(queue))
+		if !ok {
 			// No departures, fault edges, arrivals or steppable sessions
 			// left; anything still queued can never be admitted — reject new
 			// arrivals, abort displaced streams (keeping their partial
@@ -660,10 +672,62 @@ func (f *Fleet) RunWithFaults(reqs []StreamRequest, faults []Fault) (*Result, er
 				}
 			}
 			queue = nil
-			goto done
+			break
+		}
+		f.events++
+		switch pick.kind {
+		case evDeparture:
+			f.depart(pick.as)
+			if err := f.drainQueue(&queue, pick.at); err != nil {
+				return fail(err)
+			}
+		case evFault:
+			ev := fevs[fi]
+			fi++
+			if err := f.applyFault(ev, &queue); err != nil {
+				return fail(err)
+			}
+			if err := f.drainQueue(&queue, ev.at); err != nil {
+				return fail(err)
+			}
+		case evScale:
+			// When no departure, fault, arrival or step remains, only
+			// provisioning can ever serve the queue — the tick must try
+			// regardless of QueueHighWater, and if even that cannot act,
+			// the scale stream ends so the queue falls through to the
+			// terminal rejection above.
+			acted, err := f.scaleTick(pick.at, &queue, pick.lastResort)
+			if err != nil {
+				return fail(err)
+			}
+			if !acted && pick.lastResort {
+				f.auto.exhausted = true
+			}
+			if err := f.drainQueue(&queue, pick.at); err != nil {
+				return fail(err)
+			}
+		case evArrival:
+			req := &reqs[order[next]]
+			next++
+			out, err := f.arrive(req, pick.at, &queue)
+			if err != nil {
+				return fail(err)
+			}
+			outcomes = append(outcomes, out)
+		case evStep:
+			as := pick.as
+			if err := as.sess.Step(); err != nil {
+				return fail(err)
+			}
+			as.refresh()
+			f.retrack(as)
+			f.observeStep(as)
+			if err := f.observeDurable(as); err != nil {
+				return fail(err)
+			}
 		}
 	}
-done:
+	res.Horizon = f.resHorizon
 	for _, out := range outcomes {
 		switch {
 		case out.Rejected:
@@ -693,6 +757,7 @@ done:
 	res.ReplayedFrames = f.replayedFrames
 	res.JournalWrites = f.journalWrites
 	res.JournalBytes = f.journalBytes
+	res.Events = f.events
 	for _, d := range f.devices {
 		res.Devices = append(res.Devices, f.deviceStats(d, res.Horizon))
 	}
@@ -732,6 +797,15 @@ func (f *Fleet) applyFault(ev faultEvent, queue *[]*pending) error {
 		// Validated positive; only a harness bug could fail here.
 		if err := d.Sys.SoC.SetTimeScale(scale); err != nil {
 			panic(err)
+		}
+		// A TimeScale change cannot move an already-scheduled ReadyAt or
+		// Horizon (both derive from completed work and the camera schedule,
+		// not future execution speed), but the cached-event invariant is
+		// "refresh on every transition that could" — so refresh and re-sort;
+		// the audit test pins the invariant rather than the coincidence.
+		for _, as := range d.sessions {
+			as.refresh()
+			f.retrack(as)
 		}
 	case FaultOutage, FaultDeath:
 		if ev.recovery {
@@ -798,6 +872,7 @@ func (f *Fleet) evacuate(d *Device, at time.Duration, queue *[]*pending, reason 
 	}
 	moved := make([]*pending, 0, len(d.sessions))
 	for _, as := range d.sessions {
+		f.untrack(as)
 		snap, err := as.sess.Drain()
 		if err != nil {
 			return fmt.Errorf("fleet: %s %s off %s: %w", reason, as.out.Name, d.Name, err)
@@ -927,6 +1002,8 @@ func (f *Fleet) admit(p *pending, at time.Duration, cands []*Device) error {
 		sess: sess, dev: dev, out: out, seq: f.seq, req: req, prevRecords: carried,
 	}
 	dev.sessions = append(dev.sessions, as)
+	as.refresh()
+	f.track(as)
 	// Seed (or refresh, after a migration) the stream's durable checkpoint,
 	// so a crash can never catch it without one.
 	return f.journalOnAdmit(as)
@@ -935,6 +1012,14 @@ func (f *Fleet) admit(p *pending, at time.Duration, cands []*Device) error {
 // depart closes a completed stream's session, records its outcome, frees its
 // admission slot and teaches the affinity model.
 func (f *Fleet) depart(as *activeSession) {
+	f.departGlobal(as, f.departLocal(as))
+}
+
+// departLocal is the device-local half of departure: close the session,
+// unlink it from its heap and device, record the stream result and meter
+// the device. Region advances run it inside the parallel interval.
+func (f *Fleet) departLocal(as *activeSession) *runtime.StreamResult {
+	f.untrack(as)
 	_ = as.sess.Close() // a completed fixed sequence cannot fail to release
 	d := as.dev
 	for i, s := range d.sessions {
@@ -945,13 +1030,26 @@ func (f *Fleet) depart(as *activeSession) {
 	}
 	sr := as.sess.Result()
 	as.out.Stream = sr
-	delete(f.journalStore, as.out)
 	d.served++
 	d.frames += len(sr.Result.Records) - as.prevRecords
 	if h := as.sess.Horizon(); h > d.horizon {
 		d.horizon = h
 	}
+	return sr
+}
+
+// departGlobal is the cross-region half: journal release, affinity
+// teaching, the result horizon, and the caller's departure hook. Region
+// advances defer it to the merge so it applies in exact global event order.
+func (f *Fleet) departGlobal(as *activeSession, sr *runtime.StreamResult) {
+	delete(f.journalStore, as.out)
 	f.teach(as.out.Scenario, sr.Result.Records)
+	if n := len(sr.Timings); n > 0 && sr.Timings[n-1].Done > f.resHorizon {
+		f.resHorizon = sr.Timings[n-1].Done
+	}
+	if f.onDepart != nil {
+		f.onDepart(as.out)
+	}
 }
 
 // teach folds served records into the affinity model's per-scenario engine
@@ -982,6 +1080,9 @@ func (f *Fleet) drainQueue(queue *[]*pending, at time.Duration) error {
 		p := (*queue)[0]
 		*queue = (*queue)[1:]
 		if err := f.admit(p, at, cands); err != nil {
+			// Put the stream back so the caller's failure path can release
+			// its parked checkpoint state.
+			*queue = append([]*pending{p}, *queue...)
 			return err
 		}
 	}

@@ -60,16 +60,19 @@ func FuzzFleetDeterminism(f *testing.F) {
 				t.Fatal(err)
 			}
 		}
-		run := func(devs []DeviceConfig) *Result {
+		run := func(devs []DeviceConfig, regions int, legacy bool) *Result {
 			fl, err := New(Config{
-				Seed:      wseed,
-				Devices:   devs,
-				Placement: NewResidencyAffinity(),
-				Admission: Admission{PerDeviceStreams: 2, QueueLimit: 3},
+				Seed:       wseed,
+				Devices:    devs,
+				Placement:  NewResidencyAffinity(),
+				Admission:  Admission{PerDeviceStreams: 2, QueueLimit: 3},
+				Regions:    regions,
+				LegacyScan: legacy,
 			})
 			if err != nil {
 				t.Fatal(err)
 			}
+			fl.auditCache = true
 			res, err := fl.RunWithFaults(reqs, faults)
 			if err != nil {
 				t.Fatal(err)
@@ -81,14 +84,26 @@ func FuzzFleetDeterminism(f *testing.F) {
 			}
 			return res
 		}
-		a := run(devices)
-		b := run(devices)
+		a := run(devices, 0, false)
+		b := run(devices, 0, false)
 		compareRuns(t, a, b, "repeat")
 		shuffled := make([]DeviceConfig, devCount)
 		for i := range devices {
 			shuffled[(i+1)%devCount] = devices[i]
 		}
-		c := run(shuffled)
+		c := run(shuffled, 0, false)
 		compareRuns(t, a, c, "shuffled-devices")
+		// Selector equivalence: the legacy O(devices × sessions) rescan and
+		// the sharded-region loop must replay the heap run bit-for-bit, at a
+		// region count derived from the input so the corpus explores several.
+		l := run(devices, 0, true)
+		compareRuns(t, a, l, "legacy-scan")
+		regions := int((wseed+fseed+ndev)%3) + 2
+		r := run(devices, regions, false)
+		compareRuns(t, a, r, "regions")
+		if a.Events != l.Events || a.Events != r.Events {
+			t.Fatalf("event counts diverge across selectors: heap %d, legacy %d, %d-region %d",
+				a.Events, l.Events, regions, r.Events)
+		}
 	})
 }

@@ -1,0 +1,221 @@
+package fleet
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/par"
+	"repro/internal/runtime"
+)
+
+// Region sharding: the fleet's devices partition into R regions, each
+// owning a private session-event heap. Between two consecutive global
+// events — arrivals, fault edges, scale ticks, and any event while the
+// admission queue is non-empty — every pending session event is local to
+// the device that owns the session, so the regions advance their steps and
+// departures in parallel (via internal/par) and log the cross-region side
+// effects. A deterministic merge then replays those logs in exact global
+// event order, making an R-region run bit-identical to R=1 on any worker
+// count. This is the plan-then-fan-out draw-equivalence discipline of the
+// offline stages (DESIGN.md §2) applied to the event loop itself.
+
+// region is one shard of the fleet's devices.
+type region struct{ heap sessHeap }
+
+// regionIndex assigns a device to a region by FNV-1a of its name — stable
+// across runs and device-listing order, the property every fleet decision
+// keys on.
+func regionIndex(name string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return int(h % uint64(n))
+}
+
+// barrier is the earliest global (cross-region) event's selection key.
+// Session events strictly before it are region-local by construction.
+type barrier struct {
+	at   time.Duration
+	kind eventKind
+}
+
+// openBarrier sorts after every real event, so with no global event left
+// the regions drain completely.
+func openBarrier() barrier {
+	return barrier{at: time.Duration(math.MaxInt64), kind: evNone}
+}
+
+func (b barrier) min(at time.Duration, kind eventKind) barrier {
+	if at < b.at || (at == b.at && kind < b.kind) {
+		return barrier{at: at, kind: kind}
+	}
+	return b
+}
+
+// admits reports whether the session's event sorts strictly before the
+// barrier — kind breaks the time tie exactly like the selection switch.
+func (b barrier) admits(as *activeSession) bool {
+	at, kind := as.eventKey()
+	return at < b.at || (at == b.at && kind < b.kind)
+}
+
+// regionEvent is one session event a region advance processed locally,
+// logged with its global key so cross-region side effects replay in exact
+// global order at the merge.
+type regionEvent struct {
+	at   time.Duration
+	kind eventKind
+	dev  string
+	seq  int
+	as   *activeSession
+
+	// Step payload: the autoscaler latency sample and, when the stream's
+	// journal cadence came due, the checkpoint snapshot taken at the step
+	// (encoded at merge time so journal sequence numbers stay global).
+	sample    latSample
+	hasSample bool
+	snap      *runtime.SessionSnapshot
+
+	// Departure payload: the completed stream result for departGlobal.
+	sr *runtime.StreamResult
+}
+
+func regionEventBefore(a, b *regionEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	if a.dev != b.dev {
+		return a.dev < b.dev
+	}
+	return a.seq < b.seq
+}
+
+// advanceRegions advances every region in parallel up to the next global
+// event, then replays the logged side effects in global order. The caller
+// guarantees the admission queue is empty, so a departure inside the
+// interval cannot admit anything and stays region-local (a non-empty queue
+// pins the loop sequential until it drains).
+func (f *Fleet) advanceRegions(reqs []StreamRequest, order []int, next int, fevs []faultEvent, fi int) error {
+	bar := openBarrier()
+	if fi < len(fevs) {
+		bar = bar.min(fevs[fi].at, evFault)
+	}
+	if next < len(order) {
+		bar = bar.min(reqs[order[next]].Arrival, evArrival)
+	}
+	anySess := false
+	for _, rg := range f.regions {
+		if rg.heap.len() > 0 {
+			anySess = true
+			break
+		}
+	}
+	if f.auto != nil && !f.auto.exhausted && (anySess || fi < len(fevs) || next < len(order)) {
+		bar = bar.min(f.auto.nextAt, evScale)
+	}
+	// Skip the fan-out entirely when no region has an event inside the
+	// interval — the common case right before each arrival in a sparse
+	// trace.
+	work := false
+	for _, rg := range f.regions {
+		if top := rg.heap.peek(); top != nil && bar.admits(top) {
+			work = true
+			break
+		}
+	}
+	if !work {
+		return nil
+	}
+	logs := make([][]regionEvent, len(f.regions))
+	if err := par.MapErr(len(f.regions), func(ri int) error {
+		return f.advanceRegion(f.regions[ri], bar, &logs[ri])
+	}); err != nil {
+		return err
+	}
+	return f.mergeRegions(logs)
+}
+
+// advanceRegion drains one region's heap up to the barrier. Steps and
+// departures touch only the region's own devices, sessions and loaders;
+// every effect visible outside the region is logged instead of applied.
+func (f *Fleet) advanceRegion(rg *region, bar barrier, log *[]regionEvent) error {
+	for {
+		as := rg.heap.peek()
+		if as == nil || !bar.admits(as) {
+			return nil
+		}
+		at, kind := as.eventKey()
+		ev := regionEvent{at: at, kind: kind, dev: as.dev.Name, seq: as.seq, as: as}
+		if as.finished {
+			ev.sr = f.departLocal(as)
+		} else {
+			if err := as.sess.Step(); err != nil {
+				return err
+			}
+			as.refresh()
+			rg.heap.fix(as)
+			if f.auto != nil {
+				tms := as.sess.Result().Timings
+				tm := tms[len(tms)-1]
+				ev.sample = latSample{dev: as.dev.Name, done: tm.Done, lat: tm.LatencySec()}
+				ev.hasSample = true
+			}
+			if f.journalDue(as) {
+				ev.snap = as.sess.Snapshot()
+				// Snapshot invalidates the cached event view, same as
+				// writeJournal on the sequential path.
+				as.refresh()
+				rg.heap.fix(as)
+			}
+		}
+		*log = append(*log, ev)
+	}
+}
+
+// mergeRegions interleaves the per-region logs by global event key (each
+// log is already sorted — heap pop order) and applies the cross-region
+// mutations in that order: the autoscaler's rolling sample window, journal
+// writes (stamping the global journalSeq, so the encoded bytes are
+// bit-identical to the sequential run), and the global half of each
+// departure.
+func (f *Fleet) mergeRegions(logs [][]regionEvent) error {
+	idx := make([]int, len(logs))
+	for {
+		best := -1
+		for ri := range logs {
+			if idx[ri] >= len(logs[ri]) {
+				continue
+			}
+			if best < 0 || regionEventBefore(&logs[ri][idx[ri]], &logs[best][idx[best]]) {
+				best = ri
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		ev := &logs[best][idx[best]]
+		idx[best]++
+		f.events++
+		if ev.kind == evDeparture {
+			f.departGlobal(ev.as, ev.sr)
+			continue
+		}
+		if ev.hasSample {
+			f.auto.samples = append(f.auto.samples, ev.sample)
+		}
+		if ev.snap != nil {
+			if err := f.commitJournal(ev.as, ev.snap); err != nil {
+				return err
+			}
+		}
+	}
+}
