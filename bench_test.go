@@ -20,6 +20,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/loader"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/scene"
 	"repro/internal/sched"
@@ -471,6 +472,36 @@ func BenchmarkScaleSweep(b *testing.B) {
 				sharded.EventsPerSec, heap.Events, heap.Served, heap.Served+heap.Rejected)
 		}
 	}
+}
+
+// BenchmarkRecorderOverhead measures the flight recorder's cost on the
+// standard obs fleet cell: the detached run carries only nil checks on the
+// hot paths, so attached-vs-detached wall clock is the whole observability
+// tax. The first attached iteration logs the headline attribution.
+func BenchmarkRecorderOverhead(b *testing.B) {
+	e := env(b)
+	cfg := experiments.DefaultObsSweepConfig()
+	b.Run("detached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.ObsCell(e, cfg, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("attached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rec := obs.NewRecorder()
+			if _, err := experiments.ObsCell(e, cfg, rec); err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				a := rec.Attribution()
+				b.Logf("recorder: %d spans over %d frames | p99=%.3fs, swap-stall share of p99=%.1f%% (queue %.1f%%, exec %.1f%%, interference %.1f%%)",
+					len(rec.Spans()), a.Frames, a.P99Sec, a.SwapStallShareOfP99*100,
+					a.QueueShareOfP99*100, a.ExecShareOfP99*100, a.InterferenceShareOfP99*100)
+			}
+		}
+	})
 }
 
 // BenchmarkSHIFTFrame measures the per-frame cost of the full SHIFT loop

@@ -438,6 +438,30 @@ func main() {
 		}
 	}
 
+	// Observability headline: the flight-recorder cell's latency attribution
+	// — where frame latency goes overall and over the p99 tail, with the
+	// swap-stall share of p99 as the headline the prefetch roadmap item is
+	// gated on. obs_attached_equals_detached is the zero-perturbation
+	// certificate (1 when the attached and detached runs summarize
+	// bit-identically). Deterministic per seed; these keys are additive —
+	// existing headline blocks do not move.
+	ob, err := experiments.ObsSweep(env, experiments.ObsSweepConfig{})
+	if err != nil {
+		fatal(err)
+	}
+	doc.Headline["obs_frames"] = float64(ob.Attribution.Frames)
+	doc.Headline["obs_spans"] = float64(ob.Spans)
+	doc.Headline["obs_p99_latency_s"] = ob.Attribution.P99Sec
+	doc.Headline["obs_queue_share"] = ob.Attribution.QueueShare
+	doc.Headline["obs_swap_stall_share"] = ob.Attribution.SwapShare
+	doc.Headline["obs_exec_share"] = ob.Attribution.ExecShare
+	doc.Headline["obs_interference_share"] = ob.Attribution.InterferenceShare
+	doc.Headline["obs_queue_share_p99"] = ob.Attribution.QueueShareOfP99
+	doc.Headline["obs_swap_stall_share_p99"] = ob.Attribution.SwapStallShareOfP99
+	doc.Headline["obs_exec_share_p99"] = ob.Attribution.ExecShareOfP99
+	doc.Headline["obs_interference_share_p99"] = ob.Attribution.InterferenceShareOfP99
+	doc.Headline["obs_attached_equals_detached"] = map[bool]float64{true: 1, false: 0}[ob.DetachedEqual]
+
 	// Fleet-scale headline: the 1 000-device / 100 000-stream flagship trace.
 	// The serving profile (served, frames, events, horizon, latency, misses)
 	// is simulated and deterministic per seed — a perf-only change must leave

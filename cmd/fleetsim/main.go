@@ -60,6 +60,7 @@ func main() {
 		sweep      = flag.Bool("sweep", false, "run the full device-count × placement grid (experiments.FleetSweep)")
 		faults     = flag.Float64("faults", 0, "mean device faults per minute; > 0 injects outages/deaths/brownouts with checkpoint/migration (experiments.FaultSweep)")
 		autoscale  = flag.Bool("autoscale", false, "run the elasticity grid: fixed vs SLO-autoscaled fleets under burst and diurnal workloads (experiments.AutoscaleSweep)")
+		trace      = flag.String("trace", "", "write the serving run's flight-recorder spans as Chrome trace-event JSON to this file (single-cell run; open in chrome://tracing or Perfetto)")
 		worker     = flag.String("worker", "", "run as a worker process with this device name, protocol on stdio (spawned by -workers)")
 		workers    = flag.Int("workers", 0, "coordinator mode: spawn N worker subprocesses and serve -streams across them")
 		killOne    = flag.Bool("kill-one", false, "with -workers: SIGKILL worker w0 after its first journaled chunk to exercise crash recovery")
@@ -78,8 +79,8 @@ func main() {
 		return
 	}
 	if *workers > 0 {
-		if *sweep || *autoscale || *faults > 0 {
-			fmt.Fprintln(os.Stderr, "fleetsim: -workers is mutually exclusive with -sweep, -autoscale, and -faults")
+		if err := validateWorkersMode(*sweep, *autoscale, *faults, *trace); err != nil {
+			fmt.Fprintln(os.Stderr, "fleetsim:", err)
 			os.Exit(1)
 		}
 		if err := runCoordinator(*workers, *streams, *period, *seed, *killOne, *journalDir); err != nil {
@@ -94,10 +95,24 @@ func main() {
 	}
 
 	if err := run(*devices, *scales, *placement, *streams, *rate, *period,
-		*budget, *queue, *regions, *poolMB, *seed, *valFrames, *sweep, *faults, *autoscale, set); err != nil {
+		*budget, *queue, *regions, *poolMB, *seed, *valFrames, *sweep, *faults, *autoscale, *trace, set); err != nil {
 		fmt.Fprintln(os.Stderr, "fleetsim:", err)
 		os.Exit(1)
 	}
+}
+
+// validateWorkersMode rejects flags coordinator mode cannot honor — the
+// other experiment grids, and -trace: the flight recorder observes the
+// in-process event loop, and worker subprocesses serve out-of-process, so
+// there is nothing to trace.
+func validateWorkersMode(sweep, autoscale bool, faults float64, trace string) error {
+	if sweep || autoscale || faults > 0 {
+		return fmt.Errorf("-workers is mutually exclusive with -sweep, -autoscale, and -faults")
+	}
+	if trace != "" {
+		return fmt.Errorf("-trace is mutually exclusive with -workers (the flight recorder observes the in-process event loop)")
+	}
+	return nil
 }
 
 // validate rejects malformed flags up front — one line on stderr and a
@@ -147,7 +162,7 @@ func validate(devices int, placement string, streams int, rate, period float64,
 // rejected instead of silently ignored.
 func run(devices int, scales, placement string, streams int, rate, period float64,
 	budget, queue, regions int, poolMB int64, seed uint64, valFrames int, sweep bool, faults float64,
-	autoscale bool, set map[string]bool) error {
+	autoscale bool, trace string, set map[string]bool) error {
 	if err := validate(devices, placement, streams, rate, period, budget, queue, regions, poolMB, valFrames, faults); err != nil {
 		return err
 	}
@@ -159,6 +174,9 @@ func run(devices int, scales, placement string, streams int, rate, period float6
 	}
 	if set["regions"] && (autoscale || faults > 0) {
 		return fmt.Errorf("-regions applies to the serving sweep only, not -autoscale or -faults")
+	}
+	if trace != "" && (sweep || autoscale || faults > 0) {
+		return fmt.Errorf("-trace applies to the single serving run only; it is mutually exclusive with -sweep, -autoscale and -faults")
 	}
 	scaleList, err := parseScales(scales)
 	if err != nil {
@@ -234,6 +252,37 @@ func run(devices int, scales, placement string, streams int, rate, period float6
 		}
 		fmt.Println()
 		fmt.Println(res.Report())
+		return nil
+	}
+
+	if trace != "" {
+		ocfg := experiments.ObsSweepConfig{
+			Devices:   devices,
+			Placement: placement,
+			Scales:    scaleList,
+			Workload:  workload,
+			Admission: &admission,
+			PoolMB:    poolMB,
+			Regions:   regions,
+		}
+		res, err := experiments.ObsSweep(env, ocfg)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(trace)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Println(res.Report())
+		fmt.Printf("wrote Chrome trace (%d spans) to %s — open in chrome://tracing or Perfetto\n", res.Spans, trace)
 		return nil
 	}
 

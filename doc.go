@@ -40,6 +40,15 @@
 //     fourth fault kind — crash — kills a device's worker process and
 //     recovers its streams from journal bytes (best-effort streams shed
 //     first when survivors lack slack).
+//   - internal/obs: the fleet flight recorder — a pure-stdlib virtual-clock
+//     tracer recording typed spans for every lifecycle event (arrival,
+//     queue wait, engine load vs. residency hit, per-processor exec,
+//     per-frame rollup, migration, drain, brownout, crash-recover), a
+//     counters-and-histograms registry folded from the span stream, exact
+//     per-frame latency attribution (queue + swap + exec + interference
+//     sum bit-exactly to end-to-end), Chrome trace-event JSON export and
+//     text timelines; strictly observational — attaching it never
+//     perturbs a run, at any region count.
 //   - internal/checkpoint: the versioned, self-describing checkpoint wire
 //     format (magic + version + CRC-guarded sections; frames by
 //     reference) with typed decode errors and a committed fuzz corpus.

@@ -208,6 +208,12 @@ type SoC struct {
 
 	r     *rng.Stream
 	trace *Trace
+	// ctxStream/ctxModel are the attribution labels stamped into trace
+	// samples; the serving engine sets them before each charge when a trace
+	// is attached (SetExecLabel). Zero values mean unattributed, keeping
+	// direct Exec callers' traces unchanged.
+	ctxStream string
+	ctxModel  string
 	// busy tracks each processor's FIFO queue horizon for contention-aware
 	// execution (ExecFrom); the plain Exec path does not consult it.
 	busy map[string]time.Duration
@@ -311,7 +317,8 @@ func (s *SoC) Exec(procID string, latMean, powerMean float64) (Cost, error) {
 	s.Meter.Execs[procID]++
 	if s.trace != nil {
 		s.trace.Samples = append(s.trace.Samples, TraceSample{
-			Proc: procID, Start: start, Dur: d, PowerW: pow,
+			Proc: procID, Stream: s.ctxStream, Model: s.ctxModel,
+			Start: start, Dur: d, PowerW: pow,
 		})
 	}
 	return Cost{Lat: d, Energy: energy, PowerW: pow}, nil
@@ -366,7 +373,8 @@ func (s *SoC) ExecFrom(procID string, ready time.Duration, latMean, powerMean fl
 	s.Meter.Execs[procID]++
 	if s.trace != nil {
 		s.trace.Samples = append(s.trace.Samples, TraceSample{
-			Proc: procID, Start: start, Dur: d, PowerW: pow,
+			Proc: procID, Stream: s.ctxStream, Model: s.ctxModel,
+			Start: start, Dur: d, PowerW: pow,
 		})
 	}
 	return Span{Start: start, End: end, Wait: start - ready, Cost: Cost{Lat: d, Energy: energy, PowerW: pow}}, nil
@@ -375,6 +383,16 @@ func (s *SoC) ExecFrom(procID string, ready time.Duration, latMean, powerMean fl
 // BusyUntil returns the processor's FIFO queue horizon: the completion time
 // of the last workload queued on it via ExecFrom.
 func (s *SoC) BusyUntil(procID string) time.Duration { return s.busy[procID] }
+
+// TraceAttached reports whether a power trace is recording — callers gate
+// SetExecLabel on it so the detached path skips the label writes.
+func (s *SoC) TraceAttached() bool { return s.trace != nil }
+
+// SetExecLabel sets the stream/model attribution stamped into subsequent
+// trace samples; labels persist until the next call (empty strings clear).
+func (s *SoC) SetExecLabel(stream, model string) {
+	s.ctxStream, s.ctxModel = stream, model
+}
 
 // ProcIDsByKind returns processor IDs of the given kind in sorted order.
 func (s *SoC) ProcIDsByKind(k Kind) []string {

@@ -7,9 +7,15 @@ import (
 )
 
 // TraceSample is one execution interval on one processor, as a power-rail
-// monitor would record it: who drew how much power, when, for how long.
+// monitor would record it: who drew how much power, when, for how long —
+// plus the stream and model attribution labels the serving engine stamps
+// via SoC.SetExecLabel. Samples recorded through the plain solo path carry
+// zero-value labels, keeping pre-attribution traces and their summaries
+// byte-identical.
 type TraceSample struct {
 	Proc   string
+	Stream string
+	Model  string
 	Start  time.Duration
 	Dur    time.Duration
 	PowerW float64
@@ -66,6 +72,61 @@ func (t *Trace) Rails() []RailSummary {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Proc < out[j].Proc })
 	return out
+}
+
+// StreamRail aggregates a trace per (stream, processor) — the per-stream
+// energy view rail monitoring alone cannot give on real hardware, unlocked
+// by the exec labels. Unlabeled samples group under the empty stream.
+type StreamRail struct {
+	Stream   string
+	Proc     string
+	Busy     time.Duration
+	EnergyJ  float64
+	AvgPower float64
+	Samples  int
+}
+
+// StreamRails summarizes the trace per (stream, processor), sorted by
+// stream then processor ID.
+func (t *Trace) StreamRails() []StreamRail {
+	type key struct{ stream, proc string }
+	agg := map[key]*StreamRail{}
+	for _, s := range t.Samples {
+		k := key{s.Stream, s.Proc}
+		r, ok := agg[k]
+		if !ok {
+			r = &StreamRail{Stream: s.Stream, Proc: s.Proc}
+			agg[k] = r
+		}
+		r.Busy += s.Dur
+		r.EnergyJ += s.EnergyJ()
+		r.Samples++
+	}
+	out := make([]StreamRail, 0, len(agg))
+	for _, r := range agg {
+		if r.Busy > 0 {
+			r.AvgPower = r.EnergyJ / r.Busy.Seconds()
+		}
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Stream != out[j].Stream {
+			return out[i].Stream < out[j].Stream
+		}
+		return out[i].Proc < out[j].Proc
+	})
+	return out
+}
+
+// StreamEnergy returns one stream's total energy across rails.
+func (t *Trace) StreamEnergy(stream string) float64 {
+	var sum float64
+	for _, s := range t.Samples {
+		if s.Stream == stream {
+			sum += s.EnergyJ()
+		}
+	}
+	return sum
 }
 
 // PowerAt returns the total instantaneous power draw across rails at virtual

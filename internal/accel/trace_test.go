@@ -136,3 +136,88 @@ func TestSampleEnergy(t *testing.T) {
 		t.Fatalf("EnergyJ = %v", s.EnergyJ())
 	}
 }
+
+// TestStreamRailsAttribution drives the exec-label path: samples executed
+// under a label aggregate per (stream, processor), unlabeled samples keep
+// zero-value labels (so pre-attribution traces are byte-identical), and
+// labels persist across execs until explicitly cleared.
+func TestStreamRailsAttribution(t *testing.T) {
+	s := DefaultPlatform(rng.New(4))
+	if s.TraceAttached() {
+		t.Fatal("trace attached before AttachTrace")
+	}
+	tr := s.AttachTrace()
+	if !s.TraceAttached() {
+		t.Fatal("TraceAttached false after AttachTrace")
+	}
+	if _, err := s.Exec("gpu", 0.1, 10); err != nil { // unlabeled
+		t.Fatal(err)
+	}
+	s.SetExecLabel("cam1", "yolov7")
+	for i := 0; i < 2; i++ {
+		if _, err := s.Exec("gpu", 0.1, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Exec("dla0", 0.05, 5); err != nil { // label persists
+		t.Fatal(err)
+	}
+	s.SetExecLabel("cam2", "ssd")
+	if _, err := s.Exec("gpu", 0.1, 10); err != nil {
+		t.Fatal(err)
+	}
+	s.SetExecLabel("", "")
+	if _, err := s.Exec("gpu", 0.1, 10); err != nil { // cleared
+		t.Fatal(err)
+	}
+	if tr.Samples[0].Stream != "" || tr.Samples[0].Model != "" {
+		t.Fatalf("unlabeled sample carries labels: %+v", tr.Samples[0])
+	}
+	if got := tr.Samples[3]; got.Stream != "cam1" || got.Model != "yolov7" || got.Proc != "dla0" {
+		t.Fatalf("label did not persist across execs: %+v", got)
+	}
+	if got := tr.Samples[len(tr.Samples)-1]; got.Stream != "" || got.Model != "" {
+		t.Fatalf("clearing labels failed: %+v", got)
+	}
+	rails := tr.StreamRails()
+	var keys []string
+	for _, r := range rails {
+		keys = append(keys, r.Stream+"/"+r.Proc)
+	}
+	want := []string{"/gpu", "cam1/dla0", "cam1/gpu", "cam2/gpu"}
+	if len(keys) != len(want) {
+		t.Fatalf("stream rails %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("stream rails %v, want %v (sorted stream then proc)", keys, want)
+		}
+	}
+	// Per-stream energy equals the sum of that stream's rails, and the
+	// stream-rail total conserves the per-processor rail total.
+	var streamTotal, railTotal float64
+	for _, r := range rails {
+		streamTotal += r.EnergyJ
+		if r.AvgPower <= 0 || r.Samples == 0 || r.Busy <= 0 {
+			t.Fatalf("degenerate rail %+v", r)
+		}
+	}
+	for _, r := range tr.Rails() {
+		railTotal += r.EnergyJ
+	}
+	if math.Abs(streamTotal-railTotal) > 1e-9 {
+		t.Fatalf("stream rails %v J != proc rails %v J", streamTotal, railTotal)
+	}
+	var cam1 float64
+	for _, r := range rails {
+		if r.Stream == "cam1" {
+			cam1 += r.EnergyJ
+		}
+	}
+	if got := tr.StreamEnergy("cam1"); math.Abs(got-cam1) > 1e-12 {
+		t.Fatalf("StreamEnergy(cam1) %v != rail sum %v", got, cam1)
+	}
+	if tr.StreamEnergy("nope") != 0 {
+		t.Fatal("unknown stream has non-zero energy")
+	}
+}

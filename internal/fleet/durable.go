@@ -157,7 +157,7 @@ func (f *Fleet) crash(d *Device, at time.Duration, queue *[]*pending) error {
 		f.replayedFrames += lost
 		d.displaced++
 		f.teach(as.out.Scenario, snap.Partial().Result.Records)
-		moved = append(moved, &pending{out: as.out, req: as.req, snap: snap, since: at})
+		moved = append(moved, &pending{out: as.out, req: as.req, snap: snap, since: at, crashed: true})
 	}
 	d.sessions = d.sessions[:0]
 	if err := d.DML.Flush(); err != nil {
@@ -181,6 +181,9 @@ func (f *Fleet) crash(d *Device, at time.Duration, queue *[]*pending) error {
 			p.out.Shed = true
 			p.out.Stream = p.snap.Partial()
 			delete(f.journalStore, p.out)
+			if f.rec != nil {
+				f.rec.Shed()
+			}
 		}
 	}
 	requeue(queue, moved)

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/accel"
 	"repro/internal/loader"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/runtime"
 	"repro/internal/scene"
@@ -177,6 +178,10 @@ type activeSession struct {
 	// sinceJournal counts frames served since the stream's last durable
 	// checkpoint (meaningful only with Durability enabled).
 	sinceJournal int
+	// sr is the stream's flight-recorder span buffer (nil when no Recorder
+	// is attached): the session emits engine and frame spans into it, and
+	// the loop collects them at globally-ordered points.
+	sr *obs.StreamRec
 
 	// Cached event view: ReadyAt/Horizon/Done/Remaining mirrored from the
 	// session, refreshed only on the transitions that can change them
@@ -215,6 +220,10 @@ type pending struct {
 	// device failed (downtime accrues until re-admission).
 	snap  *runtime.SessionSnapshot
 	since time.Duration
+	// crashed distinguishes a crash-recovery checkpoint (resumed from the
+	// durable journal) from a live drain snapshot, so the flight recorder
+	// can type the re-admission span.
+	crashed bool
 }
 
 // Admission is the fleet's concurrency gate.
@@ -281,6 +290,13 @@ type Config struct {
 	// rescan. Results are bit-identical either way — the scan survives only
 	// as the equivalence-test oracle and the scale sweep's baseline.
 	LegacyScan bool
+	// Recorder attaches the flight recorder (internal/obs): the run records
+	// typed lifecycle spans and derives the metrics registry from them.
+	// Strictly observational — results are bit-identical with or without it,
+	// at every region count (pinned by the recorder equivalence tests and
+	// the determinism fuzzer). Nil disables recording at zero cost beyond
+	// one nil-check per hook.
+	Recorder *obs.Recorder
 }
 
 // DeriveSeed returns the deterministic per-device seed used when a
@@ -345,6 +361,10 @@ type Fleet struct {
 	onDepart   func(*StreamOutcome)
 	resHorizon time.Duration
 	events     int64
+
+	// rec is the attached flight recorder (nil: detached, every hook is a
+	// single nil-check).
+	rec *obs.Recorder
 }
 
 // New assembles a fleet from its config.
@@ -375,6 +395,7 @@ func New(cfg Config) (*Fleet, error) {
 		nregions:     max(1, cfg.Regions),
 		legacyScan:   cfg.LegacyScan,
 		onDepart:     cfg.OnDepart,
+		rec:          cfg.Recorder,
 	}
 	for i := 0; i < f.nregions; i++ {
 		f.regions = append(f.regions, &region{})
@@ -667,8 +688,14 @@ func (f *Fleet) RunWithFaults(reqs []StreamRequest, faults []Fault) (*Result, er
 				if p.snap != nil {
 					p.out.Aborted = true
 					p.out.Stream = p.snap.Partial()
+					if f.rec != nil {
+						f.rec.Abort()
+					}
 				} else {
 					p.out.Rejected = true
+					if f.rec != nil {
+						f.rec.Reject()
+					}
 				}
 			}
 			queue = nil
@@ -725,6 +752,7 @@ func (f *Fleet) RunWithFaults(reqs []StreamRequest, faults []Fault) (*Result, er
 			if err := f.observeDurable(as); err != nil {
 				return fail(err)
 			}
+			f.flushSpans(as)
 		}
 	}
 	res.Horizon = f.resHorizon
@@ -787,6 +815,9 @@ func (f *Fleet) applyFault(ev faultEvent, queue *[]*pending) error {
 			}
 		} else {
 			d.brownouts = append(d.brownouts, ev.fault)
+		}
+		if ev.recovery && f.rec != nil {
+			f.rec.Brownout(d.Name, ev.fault.At, ev.at)
 		}
 		// Recompute from the base so overlapping brownouts compound while
 		// active and the scale returns to exactly d.Scale once all recover.
@@ -886,6 +917,9 @@ func (f *Fleet) evacuate(d *Device, at time.Duration, queue *[]*pending, reason 
 		}
 		f.teach(as.out.Scenario, snap.Partial().Result.Records)
 		count()
+		// Drain emitted its span into the session's buffer; evacuations run
+		// on the sequential global path, so collect it in event order now.
+		f.flushSpans(as)
 		moved = append(moved, &pending{out: as.out, req: as.req, snap: snap, since: at})
 	}
 	// Evacuated streams must stop consuming the device's budget slots — a
@@ -916,6 +950,9 @@ func (f *Fleet) arrive(req *StreamRequest, at time.Duration, queue *[]*pending) 
 		PeriodSec:  req.PeriodSec,
 		BestEffort: req.BestEffort,
 	}
+	if f.rec != nil {
+		f.rec.Arrival(req.Name, at)
+	}
 	cands := f.candidates()
 	if len(cands) == 0 {
 		// Only fellow arrivals count against the waiting room: displaced
@@ -930,6 +967,9 @@ func (f *Fleet) arrive(req *StreamRequest, at time.Duration, queue *[]*pending) 
 			*queue = append(*queue, &pending{out: out, req: req})
 		} else {
 			out.Rejected = true
+			if f.rec != nil {
+				f.rec.Reject()
+			}
 		}
 		return out, nil
 	}
@@ -1001,6 +1041,21 @@ func (f *Fleet) admit(p *pending, at time.Duration, cands []*Device) error {
 	as := &activeSession{
 		sess: sess, dev: dev, out: out, seq: f.seq, req: req, prevRecords: carried,
 	}
+	if f.rec != nil {
+		// One StreamRec per admission, so engine spans always carry the
+		// serving device; the admission itself is typed by how the stream
+		// got here (fresh arrival, fault migration, crash recovery).
+		as.sr = f.rec.OpenStream(out.Name, dev.Name)
+		sess.Observe(as.sr)
+		switch {
+		case p.snap != nil && p.crashed:
+			f.rec.CrashRecover(out.Name, dev.Name, p.since, at)
+		case p.snap != nil:
+			f.rec.Migration(out.Name, dev.Name, p.since, at)
+		default:
+			f.rec.QueueWait(out.Name, dev.Name, out.Arrival, at)
+		}
+	}
 	dev.sessions = append(dev.sessions, as)
 	as.refresh()
 	f.track(as)
@@ -1065,6 +1120,16 @@ func (f *Fleet) teach(scenario string, recs []runtime.FrameRecord) {
 	}
 	for _, rec := range recs {
 		m[rec.Pair.Model+"/"+rec.Pair.Kind.String()] = rec.Pair
+	}
+}
+
+// flushSpans collects a session's buffered engine spans into the recorder's
+// global list — called on the sequential path after each step and after an
+// evacuation drain (the region-sharded path collects exact ranges at the
+// merge barrier instead).
+func (f *Fleet) flushSpans(as *activeSession) {
+	if f.rec != nil && as.sr != nil {
+		f.rec.Collect(as.sr)
 	}
 }
 

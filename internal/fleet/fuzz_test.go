@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/detmodel"
+	"repro/internal/obs"
 	"repro/internal/scene"
 )
 
@@ -60,7 +61,7 @@ func FuzzFleetDeterminism(f *testing.F) {
 				t.Fatal(err)
 			}
 		}
-		run := func(devs []DeviceConfig, regions int, legacy bool) *Result {
+		run := func(devs []DeviceConfig, regions int, legacy bool, rec *obs.Recorder) *Result {
 			fl, err := New(Config{
 				Seed:       wseed,
 				Devices:    devs,
@@ -68,6 +69,7 @@ func FuzzFleetDeterminism(f *testing.F) {
 				Admission:  Admission{PerDeviceStreams: 2, QueueLimit: 3},
 				Regions:    regions,
 				LegacyScan: legacy,
+				Recorder:   rec,
 			})
 			if err != nil {
 				t.Fatal(err)
@@ -84,26 +86,57 @@ func FuzzFleetDeterminism(f *testing.F) {
 			}
 			return res
 		}
-		a := run(devices, 0, false)
-		b := run(devices, 0, false)
+		a := run(devices, 0, false, nil)
+		b := run(devices, 0, false, nil)
 		compareRuns(t, a, b, "repeat")
 		shuffled := make([]DeviceConfig, devCount)
 		for i := range devices {
 			shuffled[(i+1)%devCount] = devices[i]
 		}
-		c := run(shuffled, 0, false)
+		c := run(shuffled, 0, false, nil)
 		compareRuns(t, a, c, "shuffled-devices")
 		// Selector equivalence: the legacy O(devices × sessions) rescan and
 		// the sharded-region loop must replay the heap run bit-for-bit, at a
 		// region count derived from the input so the corpus explores several.
-		l := run(devices, 0, true)
+		l := run(devices, 0, true, nil)
 		compareRuns(t, a, l, "legacy-scan")
 		regions := int((wseed+fseed+ndev)%3) + 2
-		r := run(devices, regions, false)
+		r := run(devices, regions, false, nil)
 		compareRuns(t, a, r, "regions")
 		if a.Events != l.Events || a.Events != r.Events {
 			t.Fatalf("event counts diverge across selectors: heap %d, legacy %d, %d-region %d",
 				a.Events, l.Events, regions, r.Events)
+		}
+		// Flight recorder: attaching one is strictly observational — results
+		// stay bit-identical, sequential and region-sharded recordings agree
+		// span for span, and every frame span's latency decomposition sums
+		// exactly (integer Duration domain, no rounding slack).
+		recA := obs.NewRecorder()
+		ra := run(devices, 0, false, recA)
+		compareRuns(t, a, ra, "recorder-attached")
+		recR := obs.NewRecorder()
+		rr := run(devices, regions, false, recR)
+		compareRuns(t, a, rr, "recorder-regions")
+		sa, sr := recA.Spans(), recR.Spans()
+		if len(sa) != len(sr) {
+			t.Fatalf("span counts diverge: sequential %d, %d-region %d", len(sa), regions, len(sr))
+		}
+		for i := range sa {
+			if sa[i] != sr[i] {
+				t.Fatalf("span %d diverges across region counts:\n%+v\n%+v", i, sa[i], sr[i])
+			}
+		}
+		for i, sp := range sa {
+			if sp.Kind != obs.SpanFrame {
+				continue
+			}
+			if sp.Queue+sp.Wait+sp.Swap+sp.Exec != sp.Dur() {
+				t.Fatalf("span %d (%s frame %d): queue %v + wait %v + swap %v + exec %v != %v",
+					i, sp.Stream, sp.Frame, sp.Queue, sp.Wait, sp.Swap, sp.Exec, sp.Dur())
+			}
+			if sp.Queue < 0 || sp.Wait < 0 || sp.Swap < 0 || sp.Exec < 0 {
+				t.Fatalf("span %d (%s frame %d): negative component: %+v", i, sp.Stream, sp.Frame, sp)
+			}
 		}
 	})
 }

@@ -84,6 +84,13 @@ type regionEvent struct {
 
 	// Departure payload: the completed stream result for departGlobal.
 	sr *runtime.StreamResult
+
+	// Flight-recorder payload: the [spanLo, spanHi) range of the session's
+	// pending span buffer this step emitted. The merge collects exactly that
+	// range in global key order, so the recorder's span list is bit-identical
+	// to the sequential run; buffers reset only after the whole merge (a
+	// session can step several times within one parallel interval).
+	spanLo, spanHi int
 }
 
 func regionEventBefore(a, b *regionEvent) bool {
@@ -158,8 +165,14 @@ func (f *Fleet) advanceRegion(rg *region, bar barrier, log *[]regionEvent) error
 		if as.finished {
 			ev.sr = f.departLocal(as)
 		} else {
+			if as.sr != nil {
+				ev.spanLo = as.sr.PendLen()
+			}
 			if err := as.sess.Step(); err != nil {
 				return err
+			}
+			if as.sr != nil {
+				ev.spanHi = as.sr.PendLen()
 			}
 			as.refresh()
 			rg.heap.fix(as)
@@ -200,6 +213,17 @@ func (f *Fleet) mergeRegions(logs [][]regionEvent) error {
 			}
 		}
 		if best < 0 {
+			// Every logged span range is collected; clear the buffers so the
+			// next interval's ranges start at zero (idempotent per session).
+			if f.rec != nil {
+				for ri := range logs {
+					for i := range logs[ri] {
+						if sr := logs[ri][i].as.sr; sr != nil {
+							sr.ResetPend()
+						}
+					}
+				}
+			}
 			return nil
 		}
 		ev := &logs[best][idx[best]]
@@ -216,6 +240,11 @@ func (f *Fleet) mergeRegions(logs [][]regionEvent) error {
 			if err := f.commitJournal(ev.as, ev.snap); err != nil {
 				return err
 			}
+		}
+		// Collect the step's exact span range last, mirroring the sequential
+		// path's step → sample → journal → flush order.
+		if f.rec != nil && ev.as.sr != nil && ev.spanHi > ev.spanLo {
+			f.rec.CollectRange(ev.as.sr, ev.spanLo, ev.spanHi)
 		}
 	}
 }

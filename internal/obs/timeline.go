@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Timeline renders a per-device activity strip over the run's horizon —
+// the report's at-a-glance view of where each device's time went. Each
+// column covers horizon/width of virtual time; the densest activity class
+// in a column picks its glyph:
+//
+//	#  executing frames
+//	L  loading engines (swap stall)
+//	!  executing under an active brownout
+//	.  idle
+//
+// Devices render in name order, so the output is deterministic.
+func (r *Recorder) Timeline(width int) string {
+	if width <= 0 {
+		width = 72
+	}
+	var horizon time.Duration
+	devSet := map[string]bool{}
+	for _, sp := range r.spans {
+		if sp.End > horizon {
+			horizon = sp.End
+		}
+		if sp.Device != "" {
+			devSet[sp.Device] = true
+		}
+	}
+	if horizon <= 0 || len(devSet) == 0 {
+		return ""
+	}
+	devs := make([]string, 0, len(devSet))
+	for d := range devSet {
+		devs = append(devs, d)
+	}
+	sort.Strings(devs)
+
+	// Per device and column, accumulate exec/load occupancy and brownout
+	// coverage; the glyph is the dominant class.
+	type cell struct {
+		exec, load time.Duration
+		brown      bool
+	}
+	cells := make(map[string][]cell, len(devs))
+	for _, d := range devs {
+		cells[d] = make([]cell, width)
+	}
+	col := func(t time.Duration) int {
+		c := int(int64(t) * int64(width) / int64(horizon))
+		if c >= width {
+			c = width - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+	bucket := horizon / time.Duration(width)
+	if bucket <= 0 {
+		bucket = 1
+	}
+	for _, sp := range r.spans {
+		row, ok := cells[sp.Device]
+		if !ok {
+			continue
+		}
+		switch sp.Kind {
+		case SpanExec, SpanLoad:
+			for c, t := col(sp.Start), sp.Start; t < sp.End; c++ {
+				next := time.Duration(c+1) * bucket
+				if next > sp.End || c == width-1 {
+					next = sp.End
+				}
+				if sp.Kind == SpanExec {
+					row[c].exec += next - t
+				} else {
+					row[c].load += next - t
+				}
+				t = next
+				if c == width-1 {
+					break
+				}
+			}
+		case SpanBrownout:
+			for c := col(sp.Start); c <= col(sp.End-1) && c < width; c++ {
+				row[c].brown = true
+			}
+		}
+	}
+
+	nameW := 0
+	for _, d := range devs {
+		if len(d) > nameW {
+			nameW = len(d)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Device timelines over %.1fs (#=exec L=load !=brownout .=idle)\n", horizon.Seconds())
+	for _, d := range devs {
+		fmt.Fprintf(&b, "%-*s |", nameW, d)
+		for _, c := range cells[d] {
+			switch {
+			case c.exec == 0 && c.load == 0:
+				b.WriteByte('.')
+			case c.load > c.exec:
+				b.WriteByte('L')
+			case c.brown:
+				b.WriteByte('!')
+			default:
+				b.WriteByte('#')
+			}
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}

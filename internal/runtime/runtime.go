@@ -29,6 +29,7 @@ import (
 	"repro/internal/detmodel"
 	"repro/internal/geom"
 	"repro/internal/loader"
+	"repro/internal/obs"
 	"repro/internal/scene"
 	"repro/internal/zoo"
 )
@@ -144,6 +145,21 @@ type Engine struct {
 	held     zoo.Pair
 	haveHeld bool
 
+	// Observability (all inert when obs is nil — the detached state costs
+	// one branch per charge). obs is the stream's flight-recorder buffer;
+	// frameIdx is the frame position charges are attributed to (-1 outside
+	// any frame); loading marks charges issued through the loader, so exec
+	// distinguishes demand-load spans from execution spans; loadDur
+	// accumulates the current frame's demand-load latency — the swap-stall
+	// component of its attribution. stream and execModel label charges for
+	// both the recorder and the accel power trace.
+	obs       *obs.StreamRec
+	frameIdx  int
+	loading   bool
+	loadDur   time.Duration
+	stream    string
+	execModel string
+
 	// step is the per-frame context, reused across frames so the hot loop
 	// stays allocation-free (policies must not retain it past Step).
 	step Step
@@ -153,11 +169,12 @@ type Engine struct {
 // sequential single-stream loop.
 func NewEngine(sys *zoo.System, dml *loader.Loader, policy Policy) *Engine {
 	return &Engine{
-		sys:     sys,
-		dml:     dml,
-		policy:  policy,
-		entries: map[string]*zoo.Entry{},
-		perfs:   map[zoo.Pair]zoo.Perf{},
+		sys:      sys,
+		dml:      dml,
+		policy:   policy,
+		entries:  map[string]*zoo.Entry{},
+		perfs:    map[zoo.Pair]zoo.Perf{},
+		frameIdx: -1,
 	}
 }
 
@@ -200,16 +217,44 @@ func (e *Engine) perf(pair zoo.Pair) (zoo.Perf, error) {
 // the historical charging), served mode queues FIFO on the processor from
 // the stream's current time.
 func (e *Engine) exec(procID string, latSec, powerW float64) (accel.Cost, error) {
-	if !e.served {
-		return e.sys.SoC.Exec(procID, latSec, powerW)
+	soc := e.sys.SoC
+	if soc.TraceAttached() {
+		// Stamp the power trace's attribution labels only when a trace is
+		// recording — the label write is off the detached hot path.
+		soc.SetExecLabel(e.stream, e.execModel)
 	}
-	span, err := e.sys.SoC.ExecFrom(procID, e.at, latSec, powerW)
+	if !e.served {
+		return soc.Exec(procID, latSec, powerW)
+	}
+	span, err := soc.ExecFrom(procID, e.at, latSec, powerW)
 	if err != nil {
 		return accel.Cost{}, err
 	}
 	e.at = span.End
 	e.wait += span.Wait
+	if e.obs != nil {
+		if e.loading {
+			e.loadDur += span.Cost.Lat
+			e.obs.Load(procID, e.execModel, span.Start, span.End, e.frameIdx)
+		} else {
+			e.obs.Exec(procID, e.execModel, span.Start, span.End, span.Wait, e.frameIdx)
+		}
+	}
 	return span.Cost, nil
+}
+
+// ensureLoad routes a served-mode engine-residency ensure through exec with
+// the loading flag and model label set, so any charge it incurs is recorded
+// as a demand-load (swap-stall) span — and a zero-cost ensure is recorded
+// as a residency hit.
+func (e *Engine) ensureLoad(pair zoo.Pair) (accel.Cost, error) {
+	e.loading, e.execModel = true, pair.Model
+	cost, err := e.dml.EnsureWith(pair, e.exec)
+	e.loading, e.execModel = false, ""
+	if err == nil && e.obs != nil && cost.Lat == 0 {
+		e.obs.LoadHit(pair.Model, e.at, e.frameIdx)
+	}
+	return cost, err
 }
 
 // Prefetch greedily loads pairs into free memory, charging like demand loads
@@ -218,7 +263,12 @@ func (e *Engine) Prefetch(pairs []zoo.Pair) (int, error) {
 	if !e.served {
 		return e.dml.Prefetch(pairs)
 	}
-	return e.dml.PrefetchWith(pairs, e.exec)
+	// Prefetch loads are batched below the engine's per-pair visibility, so
+	// their spans carry the loading flag but no model label.
+	e.loading = true
+	n, err := e.dml.PrefetchWith(pairs, e.exec)
+	e.loading = false
+	return n, err
 }
 
 // releaseHeld drops the stream's residency reference at end of serve.
@@ -234,6 +284,7 @@ func (e *Engine) releaseHeld() error {
 // loop. Loader state persists across calls (as the historical runners'
 // loaders did); policy state is reset at the start of every run.
 func (e *Engine) Run(scenario string, frames []scene.Frame) (*Result, error) {
+	e.stream = scenario
 	if err := e.policy.Reset(e); err != nil {
 		return nil, err
 	}
@@ -260,6 +311,8 @@ func (e *Engine) Run(scenario string, frames []scene.Frame) (*Result, error) {
 // Step is only valid until the next beginStep call.
 func (e *Engine) beginStep(frame scene.Frame, pos int) *Step {
 	e.step = Step{eng: e, frame: frame, pos: pos, rec: FrameRecord{Index: frame.Index}}
+	e.frameIdx = pos
+	e.loadDur = 0
 	return &e.step
 }
 
@@ -311,7 +364,7 @@ func (st *Step) Acquire(pair zoo.Pair) (zoo.Pair, error) {
 	if e.haveHeld && e.held == pair {
 		// Same engine: refresh request recency; the hold guarantees
 		// residency, so this never charges.
-		cost, err := e.dml.EnsureWith(pair, e.exec)
+		cost, err := e.ensureLoad(pair)
 		if err != nil {
 			return zoo.Pair{}, err
 		}
@@ -327,7 +380,7 @@ func (st *Step) Acquire(pair zoo.Pair) (zoo.Pair, error) {
 		}
 		e.haveHeld = false
 	}
-	cost, err := e.dml.EnsureWith(pair, e.exec)
+	cost, err := e.ensureLoad(pair)
 	if errors.Is(err, loader.ErrNoMemory) {
 		if e.dml.IsResident(e.held) {
 			// Shared-memory arbitration: every candidate victim is held by
@@ -345,7 +398,7 @@ func (st *Step) Acquire(pair zoo.Pair) (zoo.Pair, error) {
 		// of failing the stream; the policy sees the substituted pair and
 		// re-decides from there.
 		if fb, ok := e.dml.ResidentFallback(pair); ok {
-			cost, err := e.dml.EnsureWith(fb, e.exec) // refresh recency; zero cost
+			cost, err := e.ensureLoad(fb) // refresh recency; zero cost
 			if err != nil {
 				return zoo.Pair{}, err
 			}
@@ -377,7 +430,10 @@ func (st *Step) Exec(pair zoo.Pair) error {
 	if err != nil {
 		return err
 	}
-	return st.ExecPerf(pair.ProcID, perf.LatencySec, perf.PowerW)
+	st.eng.execModel = pair.Model
+	err = st.ExecPerf(pair.ProcID, perf.LatencySec, perf.PowerW)
+	st.eng.execModel = ""
+	return err
 }
 
 // ExecPerf charges an arbitrary workload (scheduler overhead, tracker step,

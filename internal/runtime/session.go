@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/loader"
+	"repro/internal/obs"
 	"repro/internal/scene"
 	"repro/internal/zoo"
 )
@@ -58,6 +59,7 @@ func newSession(sys *zoo.System, dml *loader.Loader, spec StreamSpec, name strin
 	eng := NewEngine(sys, dml, spec.Policy)
 	eng.served = true
 	eng.at = at
+	eng.stream = name
 	return &Session{
 		spec: spec,
 		eng:  eng,
@@ -114,6 +116,15 @@ func OpenSessionAt(sys *zoo.System, dml *loader.Loader, spec StreamSpec, at time
 // Name returns the stream's label.
 func (s *Session) Name() string { return s.res.Name }
 
+// Observe attaches a flight-recorder span buffer to the session's engine:
+// subsequent steps emit demand-load, execution and frame-attribution spans
+// into it (internal/obs). Attaching is strictly observational — the session
+// serves bit-identically with or without it. A nil sr detaches.
+func (s *Session) Observe(sr *obs.StreamRec) {
+	s.eng.obs = sr
+	s.eng.frameIdx = -1
+}
+
 // Done reports whether every frame of the stream has been served.
 func (s *Session) Done() bool { return s.next >= len(s.spec.Frames) }
 
@@ -168,6 +179,9 @@ func (s *Session) Step() error {
 		Wait:     s.eng.wait,
 		Deadline: s.deadline,
 	})
+	if o := s.eng.obs; o != nil {
+		o.Frame(i, s.arrivalOf(i), ready, s.eng.at, s.eng.wait, s.eng.loadDur, s.deadline)
+	}
 	s.done = s.eng.at
 	s.next++
 	return nil
@@ -305,7 +319,7 @@ func RestoreSession(sys *zoo.System, dml *loader.Loader, snap *SessionSnapshot, 
 	if snap.haveHeld {
 		// The load is charged through the engine's exec, so it queues on the
 		// new device and surfaces as pre-step backlog, like Reset's prefetch.
-		_, err := dml.EnsureWith(snap.held, s.eng.exec)
+		_, err := s.eng.ensureLoad(snap.held)
 		switch {
 		case errors.Is(err, loader.ErrNoMemory):
 			// Every candidate victim is held by other streams; resume unheld
@@ -343,6 +357,9 @@ func (s *Session) Drain() (*SessionSnapshot, error) {
 	}
 	if s.closed {
 		return nil, fmt.Errorf("runtime: drain closed stream %s", s.res.Name)
+	}
+	if o := s.eng.obs; o != nil {
+		o.Drain(s.done)
 	}
 	s.drained = s.Snapshot()
 	return s.drained, s.Close()
