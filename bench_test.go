@@ -474,6 +474,27 @@ func BenchmarkScaleSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkPrefetchSweep runs the predictive-prefetch contrast cell — the
+// miss-heavy oscillate workload served twice, TAGE swap predictor off then
+// on — and logs the headline: the SupraX-style scorecard and the before/after
+// swap-stall share of the p99 tail.
+func BenchmarkPrefetchSweep(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.PrefetchSweep(e, experiments.PrefetchSweepConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			st := res.Stats
+			b.Logf("prefetch: coverage=%.3f accuracy=%.3f timeliness=%.3f (%d issued, %d full + %d late hits, %.2fs saved) | swap-stall share of p99: %.4f -> %.4f",
+				st.Coverage(), st.Accuracy(), st.Timeliness(),
+				st.Issued, st.FullHits, st.LateHits, st.StallSavedSec,
+				res.Off.SwapStallShareOfP99, res.On.SwapStallShareOfP99)
+		}
+	}
+}
+
 // BenchmarkRecorderOverhead measures the flight recorder's cost on the
 // standard obs fleet cell: the detached run carries only nil checks on the
 // hot paths, so attached-vs-detached wall clock is the whole observability

@@ -251,6 +251,22 @@ func main() {
 		}
 	})
 
+	// PrefetchSweep: the predictive-prefetch contrast cell — the miss-heavy
+	// oscillate workload served twice, TAGE swap predictor off then on, with
+	// the flight recorder attached to both runs.
+	pfCfg := experiments.PrefetchSweepConfig{}
+	var pfRes *experiments.PrefetchSweepResult
+	run("PrefetchSweep", "cell", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := experiments.PrefetchSweep(env, pfCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pfRes = r
+		}
+	})
+
 	// ScaleSweep: the fleet-scale grid — a day-long diurnal trace on fleets
 	// up to 1 000 devices / 100 000 streams, measuring the event loop's own
 	// wall-clock throughput on the legacy scan, the indexed heap and the
@@ -461,6 +477,23 @@ func main() {
 	doc.Headline["obs_exec_share_p99"] = ob.Attribution.ExecShareOfP99
 	doc.Headline["obs_interference_share_p99"] = ob.Attribution.InterferenceShareOfP99
 	doc.Headline["obs_attached_equals_detached"] = map[bool]float64{true: 1, false: 0}[ob.DetachedEqual]
+
+	// Predictive-prefetch headline: the TAGE swap predictor's SupraX-style
+	// scorecard (coverage / accuracy / timeliness) and the before/after
+	// swap-stall share of the p99 tail on the miss-heavy contrast cell. The
+	// before key is today's serving path bit-for-bit — the off run takes the
+	// identical code path as a build without the predictor — so it moves only
+	// when the serving path itself does. These keys are additive; existing
+	// headline blocks do not move.
+	doc.Headline["prefetch_coverage"] = pfRes.Stats.Coverage()
+	doc.Headline["prefetch_accuracy"] = pfRes.Stats.Accuracy()
+	doc.Headline["prefetch_timeliness"] = pfRes.Stats.Timeliness()
+	doc.Headline["prefetch_issued"] = float64(pfRes.Stats.Issued)
+	doc.Headline["prefetch_full_hits"] = float64(pfRes.Stats.FullHits)
+	doc.Headline["prefetch_late_hits"] = float64(pfRes.Stats.LateHits)
+	doc.Headline["prefetch_stall_saved_s"] = pfRes.Stats.StallSavedSec
+	doc.Headline["prefetch_swap_stall_share_p99_before"] = pfRes.Off.SwapStallShareOfP99
+	doc.Headline["prefetch_swap_stall_share_p99_after"] = pfRes.On.SwapStallShareOfP99
 
 	// Fleet-scale headline: the 1 000-device / 100 000-stream flagship trace.
 	// The serving profile (served, frames, events, horizon, latency, misses)

@@ -14,6 +14,11 @@
 // fleet whose SLO-driven autoscaler provisions warm-pool devices under
 // pressure and drains idle ones back (migrating their live sessions).
 //
+// With -prefetch, the predictive-prefetch contrast cell runs: a miss-heavy
+// oscillating workload served twice — TAGE swap predictor off, then on —
+// reporting the predictor scorecard (coverage/accuracy/timeliness) and the
+// before/after swap-stall share of the p99 latency tail.
+//
 // With -workers N, serving splits across real OS processes: a coordinator
 // spawns N worker subprocesses of this binary (each re-exec'd with -worker),
 // drives streams over line-delimited JSON on stdio pipes, and journals a
@@ -28,6 +33,7 @@
 //	fleetsim -devices 8 -regions 4
 //	fleetsim -devices 4 -faults 6
 //	fleetsim -autoscale
+//	fleetsim -prefetch
 //	fleetsim -sweep
 //	fleetsim -workers 2 -streams 8 -kill-one
 package main
@@ -60,6 +66,7 @@ func main() {
 		sweep      = flag.Bool("sweep", false, "run the full device-count × placement grid (experiments.FleetSweep)")
 		faults     = flag.Float64("faults", 0, "mean device faults per minute; > 0 injects outages/deaths/brownouts with checkpoint/migration (experiments.FaultSweep)")
 		autoscale  = flag.Bool("autoscale", false, "run the elasticity grid: fixed vs SLO-autoscaled fleets under burst and diurnal workloads (experiments.AutoscaleSweep)")
+		prefetch   = flag.Bool("prefetch", false, "run the predictive-prefetch contrast cell: a miss-heavy workload served with the TAGE swap predictor off then on (experiments.PrefetchSweep)")
 		trace      = flag.String("trace", "", "write the serving run's flight-recorder spans as Chrome trace-event JSON to this file (single-cell run; open in chrome://tracing or Perfetto)")
 		worker     = flag.String("worker", "", "run as a worker process with this device name, protocol on stdio (spawned by -workers)")
 		workers    = flag.Int("workers", 0, "coordinator mode: spawn N worker subprocesses and serve -streams across them")
@@ -79,7 +86,7 @@ func main() {
 		return
 	}
 	if *workers > 0 {
-		if err := validateWorkersMode(*sweep, *autoscale, *faults, *trace); err != nil {
+		if err := validateWorkersMode(*sweep, *autoscale, *faults, *trace, *prefetch); err != nil {
 			fmt.Fprintln(os.Stderr, "fleetsim:", err)
 			os.Exit(1)
 		}
@@ -95,7 +102,7 @@ func main() {
 	}
 
 	if err := run(*devices, *scales, *placement, *streams, *rate, *period,
-		*budget, *queue, *regions, *poolMB, *seed, *valFrames, *sweep, *faults, *autoscale, *trace, set); err != nil {
+		*budget, *queue, *regions, *poolMB, *seed, *valFrames, *sweep, *faults, *autoscale, *prefetch, *trace, set); err != nil {
 		fmt.Fprintln(os.Stderr, "fleetsim:", err)
 		os.Exit(1)
 	}
@@ -105,9 +112,9 @@ func main() {
 // other experiment grids, and -trace: the flight recorder observes the
 // in-process event loop, and worker subprocesses serve out-of-process, so
 // there is nothing to trace.
-func validateWorkersMode(sweep, autoscale bool, faults float64, trace string) error {
-	if sweep || autoscale || faults > 0 {
-		return fmt.Errorf("-workers is mutually exclusive with -sweep, -autoscale, and -faults")
+func validateWorkersMode(sweep, autoscale bool, faults float64, trace string, prefetch bool) error {
+	if sweep || autoscale || faults > 0 || prefetch {
+		return fmt.Errorf("-workers is mutually exclusive with -sweep, -autoscale, -faults, and -prefetch")
 	}
 	if trace != "" {
 		return fmt.Errorf("-trace is mutually exclusive with -workers (the flight recorder observes the in-process event loop)")
@@ -162,7 +169,7 @@ func validate(devices int, placement string, streams int, rate, period float64,
 // rejected instead of silently ignored.
 func run(devices int, scales, placement string, streams int, rate, period float64,
 	budget, queue, regions int, poolMB int64, seed uint64, valFrames int, sweep bool, faults float64,
-	autoscale bool, trace string, set map[string]bool) error {
+	autoscale, prefetch bool, trace string, set map[string]bool) error {
 	if err := validate(devices, placement, streams, rate, period, budget, queue, regions, poolMB, valFrames, faults); err != nil {
 		return err
 	}
@@ -171,6 +178,12 @@ func run(devices int, scales, placement string, streams int, rate, period float6
 	}
 	if autoscale && sweep {
 		return fmt.Errorf("-autoscale and -sweep are mutually exclusive")
+	}
+	if prefetch && (sweep || autoscale || faults > 0) {
+		return fmt.Errorf("-prefetch is mutually exclusive with -sweep, -autoscale, and -faults")
+	}
+	if prefetch && trace != "" {
+		return fmt.Errorf("-trace is mutually exclusive with -prefetch (the contrast cell attaches its own recorders; see experiments.PrefetchSweep)")
 	}
 	if set["regions"] && (autoscale || faults > 0) {
 		return fmt.Errorf("-regions applies to the serving sweep only, not -autoscale or -faults")
@@ -225,6 +238,45 @@ func run(devices int, scales, placement string, streams int, rate, period float6
 			cfg.Admission = &adm
 		}
 		res, err := experiments.AutoscaleSweep(env, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Println(res.Report())
+		return nil
+	}
+
+	if prefetch {
+		cfg := experiments.DefaultPrefetchSweepConfig()
+		cfg.Cell.Workload.Seed = seed
+		if set["devices"] {
+			cfg.Cell.Devices = devices
+		}
+		if set["placement"] {
+			cfg.Cell.Placement = placement
+		}
+		if set["scales"] {
+			cfg.Cell.Scales = scaleList
+		}
+		if set["streams"] {
+			cfg.Cell.Workload.Streams = streams
+		}
+		if set["rate"] {
+			cfg.Cell.Workload.RatePerSec = rate
+		}
+		if set["period"] {
+			cfg.Cell.Workload.PeriodSec = period
+		}
+		if set["pool-mb"] {
+			cfg.Cell.PoolMB = poolMB
+		}
+		if set["regions"] {
+			cfg.Cell.Regions = regions
+		}
+		if set["budget"] || set["queue"] {
+			cfg.Cell.Admission = &admission
+		}
+		res, err := experiments.PrefetchSweep(env, cfg)
 		if err != nil {
 			return err
 		}

@@ -47,32 +47,32 @@ func TestValidateRejectsBadFlags(t *testing.T) {
 	// run() must refuse bad flags before characterizing: a bogus placement
 	// returns (quickly) with the validation error, not a deep failure.
 	none := map[string]bool{}
-	if err := run(2, "1", "bogus", 16, 0.25, 0.1, 3, 8, 0, 1300, 1, 800, false, 0, false, "", none); err == nil {
+	if err := run(2, "1", "bogus", 16, 0.25, 0.1, 3, 8, 0, 1300, 1, 800, false, 0, false, false, "", none); err == nil {
 		t.Fatal("run accepted an unknown placement")
 	} else if !strings.Contains(err.Error(), "unknown placement") {
 		t.Fatalf("run surfaced the wrong error: %v", err)
 	}
 	// Malformed -scales fail in the same pre-characterization pass.
-	if err := run(2, "1,-2", "round-robin", 16, 0.25, 0.1, 3, 8, 0, 1300, 1, 800, false, 0, false, "", none); err == nil {
+	if err := run(2, "1,-2", "round-robin", 16, 0.25, 0.1, 3, 8, 0, 1300, 1, 800, false, 0, false, false, "", none); err == nil {
 		t.Fatal("run accepted a negative scale")
 	}
 	// Mode combinations a run cannot honor are rejected, not ignored.
-	if err := run(2, "1", "round-robin", 16, 0.25, 0.1, 3, 8, 0, 1300, 1, 800, false, 6, true, "", none); err == nil ||
+	if err := run(2, "1", "round-robin", 16, 0.25, 0.1, 3, 8, 0, 1300, 1, 800, false, 6, true, false, "", none); err == nil ||
 		!strings.Contains(err.Error(), "mutually exclusive") {
 		t.Fatalf("-autoscale -faults accepted: %v", err)
 	}
-	if err := run(2, "1", "round-robin", 16, 0.25, 0.1, 3, 8, 0, 1300, 1, 800, true, 0, true, "", none); err == nil ||
+	if err := run(2, "1", "round-robin", 16, 0.25, 0.1, 3, 8, 0, 1300, 1, 800, true, 0, true, false, "", none); err == nil ||
 		!strings.Contains(err.Error(), "mutually exclusive") {
 		t.Fatalf("-autoscale -sweep accepted: %v", err)
 	}
 	// -regions steers the serving sweep's event loop only; modes that run a
 	// different grid reject it rather than silently ignore it.
 	withRegions := map[string]bool{"regions": true}
-	if err := run(2, "1", "round-robin", 16, 0.25, 0.1, 3, 8, 2, 1300, 1, 800, false, 6, false, "", withRegions); err == nil ||
+	if err := run(2, "1", "round-robin", 16, 0.25, 0.1, 3, 8, 2, 1300, 1, 800, false, 6, false, false, "", withRegions); err == nil ||
 		!strings.Contains(err.Error(), "-regions") {
 		t.Fatalf("-regions -faults accepted: %v", err)
 	}
-	if err := run(2, "1", "round-robin", 16, 0.25, 0.1, 3, 8, 2, 1300, 1, 800, false, 0, true, "", withRegions); err == nil ||
+	if err := run(2, "1", "round-robin", 16, 0.25, 0.1, 3, 8, 2, 1300, 1, 800, false, 0, true, false, "", withRegions); err == nil ||
 		!strings.Contains(err.Error(), "-regions") {
 		t.Fatalf("-regions -autoscale accepted: %v", err)
 	}
@@ -87,7 +87,7 @@ func TestValidateRejectsBadFlags(t *testing.T) {
 		{"autoscale", false, true, 0},
 		{"faults", false, false, 6},
 	} {
-		err := run(2, "1", "round-robin", 16, 0.25, 0.1, 3, 8, 0, 1300, 1, 800, c.sweep, c.faults, c.autoscale, "out.json", none)
+		err := run(2, "1", "round-robin", 16, 0.25, 0.1, 3, 8, 0, 1300, 1, 800, c.sweep, c.faults, c.autoscale, false, "out.json", none)
 		if err == nil || !strings.Contains(err.Error(), "-trace") {
 			t.Fatalf("-trace -%s accepted: %v", c.name, err)
 		}
@@ -97,17 +97,44 @@ func TestValidateRejectsBadFlags(t *testing.T) {
 	}
 	// Coordinator mode serves out-of-process: -trace (and the grid modes)
 	// are refused with a one-line error before any worker spawns.
-	if err := validateWorkersMode(false, false, 0, ""); err != nil {
+	if err := validateWorkersMode(false, false, 0, "", false); err != nil {
 		t.Fatalf("plain -workers rejected: %v", err)
 	}
-	if err := validateWorkersMode(false, false, 0, "out.json"); err == nil ||
+	if err := validateWorkersMode(false, false, 0, "out.json", false); err == nil ||
 		!strings.Contains(err.Error(), "-trace") || !strings.Contains(err.Error(), "-workers") {
 		t.Fatalf("-trace -workers accepted: %v", err)
 	} else if strings.ContainsRune(err.Error(), '\n') {
 		t.Fatalf("-trace -workers: multi-line error %q", err)
 	}
-	if err := validateWorkersMode(true, false, 0, ""); err == nil ||
+	if err := validateWorkersMode(true, false, 0, "", false); err == nil ||
 		!strings.Contains(err.Error(), "mutually exclusive") {
 		t.Fatalf("-sweep -workers accepted: %v", err)
+	}
+	// -prefetch runs its own two-pass contrast cell: grid modes, -trace and
+	// -workers are all refused with one-line errors.
+	for _, c := range []struct {
+		name             string
+		sweep, autoscale bool
+		faults           float64
+	}{
+		{"sweep", true, false, 0},
+		{"autoscale", false, true, 0},
+		{"faults", false, false, 6},
+	} {
+		err := run(2, "1", "round-robin", 16, 0.25, 0.1, 3, 8, 0, 1300, 1, 800, c.sweep, c.faults, c.autoscale, true, "", none)
+		if err == nil || !strings.Contains(err.Error(), "-prefetch") {
+			t.Fatalf("-prefetch -%s accepted: %v", c.name, err)
+		}
+		if strings.ContainsRune(err.Error(), '\n') {
+			t.Fatalf("-prefetch -%s: multi-line error %q", c.name, err)
+		}
+	}
+	if err := run(2, "1", "round-robin", 16, 0.25, 0.1, 3, 8, 0, 1300, 1, 800, false, 0, false, true, "out.json", none); err == nil ||
+		!strings.Contains(err.Error(), "-prefetch") || !strings.Contains(err.Error(), "-trace") {
+		t.Fatalf("-trace -prefetch accepted: %v", err)
+	}
+	if err := validateWorkersMode(false, false, 0, "", true); err == nil ||
+		!strings.Contains(err.Error(), "-prefetch") {
+		t.Fatalf("-prefetch -workers accepted: %v", err)
 	}
 }

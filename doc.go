@@ -49,6 +49,17 @@
 //     sum bit-exactly to end-to-end), Chrome trace-event JSON export and
 //     text timelines; strictly observational — attaching it never
 //     perturbs a run, at any region count.
+//   - internal/predict: TAGE-style swap prediction — a bimodal base table
+//     plus tagged geometric-history tables over the stream's (model, kind)
+//     swap sequence, trained online from the step loop's swap events.
+//     Confident predictions become speculative engine loads on the SoC's
+//     DMA copy channel, overlapping the predicted next load with
+//     current-frame compute (internal/runtime), and pre-warm the target
+//     device on admission and migration (internal/fleet). Prefetch hides
+//     stalls but never steers: the predictor-off path is bit-identical to
+//     a build without it, and predictor-on decision sequences equal
+//     predictor-off ones — pinned by the churn suites and
+//     FuzzPredictorDeterminism.
 //   - internal/checkpoint: the versioned, self-describing checkpoint wire
 //     format (magic + version + CRC-guarded sections; frames by
 //     reference) with typed decode errors and a committed fuzz corpus.
@@ -70,7 +81,11 @@
 //     (experiments.CrashSweep: kill-and-recover on a journaled fleet) and
 //     the fleet-scale grid (experiments.ScaleSweep: day-long diurnal
 //     traces on fleets up to 1 000 devices / 100 000 streams, measuring
-//     the event loop's wall-clock events/sec per selector).
+//     the event loop's wall-clock events/sec per selector) and the
+//     predictive-prefetch cell (experiments.PrefetchSweep: one miss-heavy
+//     recorder cell served predictor-off then predictor-on, putting the
+//     SupraX-style coverage/accuracy/timeliness scorecard next to the
+//     swap-stall share of the p99 tail before and after).
 //   - cmd/: shiftsim, characterize, sweep, figures, bench, render, report,
 //     fleetsim.
 //   - examples/: quickstart, dronechase, energybudget, customzoo, livefeed,

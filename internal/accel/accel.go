@@ -207,6 +207,7 @@ type SoC struct {
 	TimeScale float64
 
 	r     *rng.Stream
+	dmaR  *rng.Stream
 	trace *Trace
 	// ctxStream/ctxModel are the attribution labels stamped into trace
 	// samples; the serving engine sets them before each charge when a trace
@@ -235,6 +236,7 @@ func NewSoC(procs []*Proc, pools []*MemPool, r *rng.Stream) *SoC {
 		PowerJitter: 0.03,
 		TimeScale:   1,
 		r:           r,
+		dmaR:        r.Fork("dma"),
 		busy:        make(map[string]time.Duration, len(procs)),
 	}
 	for _, p := range procs {
@@ -383,6 +385,56 @@ func (s *SoC) ExecFrom(procID string, ready time.Duration, latMean, powerMean fl
 // BusyUntil returns the processor's FIFO queue horizon: the completion time
 // of the last workload queued on it via ExecFrom.
 func (s *SoC) BusyUntil(procID string) time.Duration { return s.busy[procID] }
+
+// DMAProcID is the pseudo-processor the copy channel meters and traces
+// under. It is not a Proc: deviceStats-style reductions that iterate Procs
+// never see it, and ExecFrom refuses it, so compute charging cannot land on
+// the copy channel by mistake.
+const DMAProcID = "dma"
+
+// CopyFrom simulates an engine-image copy submitted to the SoC's single DMA
+// channel at stream time ready: copies serialize FIFO against each other,
+// exactly like ExecFrom on a processor, but never occupy compute — this is
+// the overlap primitive speculative prefetch rides (a load transfers over
+// DMA while the serving processor keeps executing). Jitter draws, metering
+// and trace samples mirror ExecFrom under DMAProcID; the demand-load path
+// never calls it, so a prefetch-free run's draws are untouched.
+func (s *SoC) CopyFrom(ready time.Duration, latMean, powerMean float64) (Span, error) {
+	if s.parked {
+		return Span{}, fmt.Errorf("accel: platform is parked")
+	}
+	if latMean < 0 || powerMean < 0 {
+		return Span{}, fmt.Errorf("accel: negative copy parameters (%v s, %v W)", latMean, powerMean)
+	}
+	if ready < 0 {
+		return Span{}, fmt.Errorf("accel: negative ready time %v", ready)
+	}
+	// The DMA channel draws from its own forked stream: copies never touch
+	// the compute procs' jitter sequence, so a run with prefetch enabled
+	// consumes exactly the demand-path draws of a prefetch-free run (forks
+	// do not advance the parent).
+	lat := s.dmaR.Jitter(latMean*s.TimeScale, s.LatJitter)
+	pow := s.dmaR.Jitter(powerMean, s.PowerJitter)
+	d := time.Duration(lat * float64(time.Second))
+	start := ready
+	if bu := s.busy[DMAProcID]; bu > start {
+		start = bu
+	}
+	end := start + d
+	s.busy[DMAProcID] = end
+	s.Clock.AdvanceTo(end)
+	energy := d.Seconds() * pow // rounded duration, so Energy == Lat·Power exactly
+	s.Meter.BusyTime[DMAProcID] += d
+	s.Meter.Energy[DMAProcID] += energy
+	s.Meter.Execs[DMAProcID]++
+	if s.trace != nil {
+		s.trace.Samples = append(s.trace.Samples, TraceSample{
+			Proc: DMAProcID, Stream: s.ctxStream, Model: s.ctxModel,
+			Start: start, Dur: d, PowerW: pow,
+		})
+	}
+	return Span{Start: start, End: end, Wait: start - ready, Cost: Cost{Lat: d, Energy: energy, PowerW: pow}}, nil
+}
 
 // TraceAttached reports whether a power trace is recording — callers gate
 // SetExecLabel on it so the detached path skips the label writes.

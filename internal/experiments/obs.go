@@ -8,6 +8,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/predict"
 	"repro/internal/rng"
 	"repro/internal/runtime"
 	"repro/internal/sched"
@@ -131,6 +132,13 @@ func ObsSweep(env *Env, cfg ObsSweepConfig) (*ObsSweepResult, error) {
 // overhead benchmark can time the two paths separately; cfg must be fully
 // populated (use DefaultObsSweepConfig).
 func ObsCell(env *Env, cfg ObsSweepConfig, rec *obs.Recorder) (*fleet.Result, error) {
+	return obsCell(env, cfg, rec, nil)
+}
+
+// obsCell is ObsCell with an optional swap-prediction config — the shared
+// cell builder behind ObsSweep (pf always nil) and PrefetchSweep (the same
+// cell with the predictor on, so before/after attributions are comparable).
+func obsCell(env *Env, cfg ObsSweepConfig, rec *obs.Recorder, pf *predict.Config) (*fleet.Result, error) {
 	newSystem := func(seed uint64) *zoo.System {
 		sys := zoo.Default(seed)
 		sys.SoC.Pools[accel.SoCPoolName] = accel.NewMemPool(accel.SoCPoolName, cfg.PoolMB*accel.MB)
@@ -163,6 +171,7 @@ func ObsCell(env *Env, cfg ObsSweepConfig, rec *obs.Recorder) (*fleet.Result, er
 		NewSystem: newSystem,
 		Regions:   cfg.Regions,
 		Recorder:  rec,
+		Prefetch:  pf,
 	})
 	if err != nil {
 		return nil, err

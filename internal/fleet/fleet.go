@@ -27,6 +27,7 @@ import (
 	"repro/internal/accel"
 	"repro/internal/loader"
 	"repro/internal/obs"
+	"repro/internal/predict"
 	"repro/internal/rng"
 	"repro/internal/runtime"
 	"repro/internal/scene"
@@ -297,6 +298,17 @@ type Config struct {
 	// the determinism fuzzer). Nil disables recording at zero cost beyond
 	// one nil-check per hook.
 	Recorder *obs.Recorder
+	// Prefetch enables TAGE-style swap prediction with speculative overlap
+	// prefetch (internal/predict) on every served session, plus an
+	// admission-time pre-warm: an arriving stream's scenario affinity set (or
+	// a migrating stream's predicted working set) is speculatively loaded on
+	// the target device before its first frame. Strictly advisory — nil is
+	// bit-identical to a build without the predictor, and with it set the
+	// decision stream (pairs, detections, fallbacks, admission and placement)
+	// is unchanged; only latency and energy move. Wrong predictions cost
+	// bandwidth and ghost memory only: speculative residents are invisible to
+	// eviction pre-checks and are reclaimed before any demand eviction.
+	Prefetch *predict.Config
 }
 
 // DeriveSeed returns the deterministic per-device seed used when a
@@ -365,6 +377,13 @@ type Fleet struct {
 	// rec is the attached flight recorder (nil: detached, every hook is a
 	// single nil-check).
 	rec *obs.Recorder
+
+	// prefetch enables per-session swap prediction (nil: off, bit-identical
+	// to a build without it); prefTotal accumulates departed sessions' fleet-
+	// wide predictor stats in global event order (aborted and shed streams'
+	// partial stats are not folded — their sessions never depart).
+	prefetch  *predict.Config
+	prefTotal predict.Stats
 }
 
 // New assembles a fleet from its config.
@@ -396,6 +415,13 @@ func New(cfg Config) (*Fleet, error) {
 		legacyScan:   cfg.LegacyScan,
 		onDepart:     cfg.OnDepart,
 		rec:          cfg.Recorder,
+		prefetch:     cfg.Prefetch,
+	}
+	if f.prefetch != nil {
+		// Normalize once so fleet-level knob reads (the pre-warm depth
+		// cap) see the same values the per-session predictors resolve.
+		norm := f.prefetch.WithDefaults()
+		f.prefetch = &norm
 	}
 	for i := 0; i < f.nregions; i++ {
 		f.regions = append(f.regions, &region{})
@@ -603,6 +629,10 @@ type Result struct {
 	// fault edges, scale ticks) — the denominator of the scale sweep's
 	// wall-clock events/sec. Deterministic per config and seed.
 	Events int64
+	// Prefetch aggregates the departed sessions' swap-prediction stats
+	// (coverage/accuracy/timeliness inputs) — all zero when Config.Prefetch
+	// is nil. Aborted and shed streams' partial stats are not folded.
+	Prefetch predict.Stats
 }
 
 // Run serves the offered streams to completion on the fleet's global
@@ -786,6 +816,7 @@ func (f *Fleet) RunWithFaults(reqs []StreamRequest, faults []Fault) (*Result, er
 	res.JournalWrites = f.journalWrites
 	res.JournalBytes = f.journalBytes
 	res.Events = f.events
+	res.Prefetch = f.prefTotal
 	for _, d := range f.devices {
 		res.Devices = append(res.Devices, f.deviceStats(d, res.Horizon))
 	}
@@ -1016,6 +1047,11 @@ func (f *Fleet) admit(p *pending, at time.Duration, cands []*Device) error {
 	var sess *runtime.Session
 	carried := 0
 	if p.snap != nil {
+		// Checkpoints decoded from the wire (crash recovery) carry no
+		// predictor config — re-install the fleet's before restoring, so a
+		// recovered stream resumes predicting. In-memory snapshots already
+		// carry it (and their predictor state); SetPrefetch is idempotent.
+		p.snap.SetPrefetch(f.prefetch)
 		sess, err = runtime.RestoreSession(dev.Sys, dev.DML, p.snap, pol, at)
 		if err != nil {
 			return fmt.Errorf("fleet: migrate %s to %s: %w", req.Name, dev.Name, err)
@@ -1029,6 +1065,7 @@ func (f *Fleet) admit(p *pending, at time.Duration, cands []*Device) error {
 			Frames:    req.Frames,
 			PeriodSec: req.PeriodSec,
 			Policy:    pol,
+			Prefetch:  f.prefetch,
 		}, at)
 		if err != nil {
 			return fmt.Errorf("fleet: open %s on %s: %w", req.Name, dev.Name, err)
@@ -1055,6 +1092,32 @@ func (f *Fleet) admit(p *pending, at time.Duration, cands []*Device) error {
 		default:
 			f.rec.QueueWait(out.Name, dev.Name, out.Arrival, at)
 		}
+	}
+	if f.prefetch != nil {
+		// Pre-warm the target before the first frame: a migrating stream
+		// brings its predictor's confident working-set chain; when that is
+		// empty (fresh arrival, or crash recovery whose wire checkpoint
+		// carries no predictor state) fall back to the scenario's learned
+		// affinity set. Best-effort and speculative — ErrNoMemory skips,
+		// residency is ghost-occupancy (never evicted for, never steered by).
+		// Admissions run on the sequential global path in both region modes,
+		// so flushing the pre-warm spans here keeps region-mode span
+		// collection ranges exact.
+		warm := sess.PredictedWorkingSet(0)
+		if len(warm) == 0 {
+			warm = f.Affinity(req.Scenario)
+		}
+		// The affinity fallback can name every pair the scenario ever used;
+		// cap it at the same depth the predictor chain walks so one
+		// admission cannot clog the copy channel or displace a working
+		// set's worth of warm engines.
+		if d := f.prefetch.PrewarmDepth; d > 0 && len(warm) > d {
+			warm = warm[:d]
+		}
+		if err := sess.Prewarm(warm); err != nil {
+			return errors.Join(fmt.Errorf("fleet: prewarm %s on %s: %w", req.Name, dev.Name, err), sess.Close())
+		}
+		f.flushSpans(as)
 	}
 	dev.sessions = append(dev.sessions, as)
 	as.refresh()
@@ -1098,6 +1161,7 @@ func (f *Fleet) departLocal(as *activeSession) *runtime.StreamResult {
 // advances defer it to the merge so it applies in exact global event order.
 func (f *Fleet) departGlobal(as *activeSession, sr *runtime.StreamResult) {
 	delete(f.journalStore, as.out)
+	f.prefTotal.Add(as.sess.PrefetchStats())
 	f.teach(as.out.Scenario, sr.Result.Records)
 	if n := len(sr.Timings); n > 0 && sr.Timings[n-1].Done > f.resHorizon {
 		f.resHorizon = sr.Timings[n-1].Done

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/detmodel"
 	"repro/internal/obs"
+	"repro/internal/predict"
 	"repro/internal/scene"
 )
 
@@ -61,7 +62,7 @@ func FuzzFleetDeterminism(f *testing.F) {
 				t.Fatal(err)
 			}
 		}
-		run := func(devs []DeviceConfig, regions int, legacy bool, rec *obs.Recorder) *Result {
+		run := func(devs []DeviceConfig, regions int, legacy bool, rec *obs.Recorder, pf *predict.Config) *Result {
 			fl, err := New(Config{
 				Seed:       wseed,
 				Devices:    devs,
@@ -70,6 +71,7 @@ func FuzzFleetDeterminism(f *testing.F) {
 				Regions:    regions,
 				LegacyScan: legacy,
 				Recorder:   rec,
+				Prefetch:   pf,
 			})
 			if err != nil {
 				t.Fatal(err)
@@ -86,22 +88,22 @@ func FuzzFleetDeterminism(f *testing.F) {
 			}
 			return res
 		}
-		a := run(devices, 0, false, nil)
-		b := run(devices, 0, false, nil)
+		a := run(devices, 0, false, nil, nil)
+		b := run(devices, 0, false, nil, nil)
 		compareRuns(t, a, b, "repeat")
 		shuffled := make([]DeviceConfig, devCount)
 		for i := range devices {
 			shuffled[(i+1)%devCount] = devices[i]
 		}
-		c := run(shuffled, 0, false, nil)
+		c := run(shuffled, 0, false, nil, nil)
 		compareRuns(t, a, c, "shuffled-devices")
 		// Selector equivalence: the legacy O(devices × sessions) rescan and
 		// the sharded-region loop must replay the heap run bit-for-bit, at a
 		// region count derived from the input so the corpus explores several.
-		l := run(devices, 0, true, nil)
+		l := run(devices, 0, true, nil, nil)
 		compareRuns(t, a, l, "legacy-scan")
 		regions := int((wseed+fseed+ndev)%3) + 2
-		r := run(devices, regions, false, nil)
+		r := run(devices, regions, false, nil, nil)
 		compareRuns(t, a, r, "regions")
 		if a.Events != l.Events || a.Events != r.Events {
 			t.Fatalf("event counts diverge across selectors: heap %d, legacy %d, %d-region %d",
@@ -112,10 +114,10 @@ func FuzzFleetDeterminism(f *testing.F) {
 		// span for span, and every frame span's latency decomposition sums
 		// exactly (integer Duration domain, no rounding slack).
 		recA := obs.NewRecorder()
-		ra := run(devices, 0, false, recA)
+		ra := run(devices, 0, false, recA, nil)
 		compareRuns(t, a, ra, "recorder-attached")
 		recR := obs.NewRecorder()
-		rr := run(devices, regions, false, recR)
+		rr := run(devices, regions, false, recR, nil)
 		compareRuns(t, a, rr, "recorder-regions")
 		sa, sr := recA.Spans(), recR.Spans()
 		if len(sa) != len(sr) {
@@ -137,6 +139,34 @@ func FuzzFleetDeterminism(f *testing.F) {
 			if sp.Queue < 0 || sp.Wait < 0 || sp.Swap < 0 || sp.Exec < 0 {
 				t.Fatalf("span %d (%s frame %d): negative component: %+v", i, sp.Stream, sp.Frame, sp)
 			}
+		}
+		// Predictor on: the swap predictor and its speculative prefetches run
+		// under every fuzzed shape and fault schedule, and must stay exactly
+		// as deterministic as the committed path — a repeat at a different
+		// region count reproduces results, spans and scorecard bit-for-bit,
+		// prefetch-hit frames carry zero swap stall, and every decomposition
+		// still sums exactly (checkPrefetchSpans, shared with the fleet
+		// prefetch test).
+		pf := predict.DefaultConfig()
+		recP := obs.NewRecorder()
+		p1 := run(devices, 0, false, recP, &pf)
+		recP2 := obs.NewRecorder()
+		p2 := run(devices, regions, false, recP2, &pf)
+		compareRuns(t, p1, p2, "prefetch-regions")
+		if p1.Prefetch != p2.Prefetch {
+			t.Fatalf("predictor scorecard diverges across region counts: %+v vs %+v", p1.Prefetch, p2.Prefetch)
+		}
+		sp1, sp2 := recP.Spans(), recP2.Spans()
+		if len(sp1) != len(sp2) {
+			t.Fatalf("prefetch-on span counts diverge: sequential %d, %d-region %d", len(sp1), regions, len(sp2))
+		}
+		for i := range sp1 {
+			if sp1[i] != sp2[i] {
+				t.Fatalf("prefetch-on span %d diverges across region counts:\n%+v\n%+v", i, sp1[i], sp2[i])
+			}
+		}
+		if hits := checkPrefetchSpans(t, sp1); hits != p1.Prefetch.FullHits {
+			t.Fatalf("recorder saw %d prefetch-hit spans, scorecard says %d full hits", hits, p1.Prefetch.FullHits)
 		}
 	})
 }

@@ -118,11 +118,13 @@ func (residencyAffinity) Pick(f *Fleet, req *StreamRequest, candidates []*Device
 }
 
 // affinityScore counts how many of the scenario's likely engines are
-// resident on the device.
+// demand-resident on the device. Speculative prefetches don't score:
+// placement must see exactly the residency a prefetch-free run would,
+// so predictions can never steer where streams land.
 func affinityScore(d *Device, likely []zoo.Pair) int {
 	n := 0
 	for _, p := range likely {
-		if d.DML.IsResident(p) {
+		if d.DML.DemandResident(p) {
 			n++
 		}
 	}

@@ -67,6 +67,18 @@ type resident struct {
 	// refs counts the streams currently serving from this engine
 	// (Acquire/Release). A reference-held engine is never evicted.
 	refs int
+	// spec marks a speculative resident: an engine brought in by
+	// predictive prefetch that no stream has demanded yet. Speculative
+	// residents are ghost occupancy — demand loads treat their bytes as
+	// free (evicting them silently, after any policy evictions the load
+	// would have performed anyway) and ResidentFallback never adopts
+	// them — so a prediction can never steer which engine a stream is
+	// served from. Speculative loads themselves behave like any cache
+	// fill: they may displace unheld demand residents in policy order
+	// (never reference-held engines), the usual prefetch-pollution
+	// trade governed by the predictor's confidence gate. The flag
+	// clears on the first demand touch.
+	spec bool
 }
 
 // Stats accumulates loader activity for Table III-style reporting.
@@ -145,7 +157,8 @@ func residencyKey(model string, kind accel.Kind) string {
 // Stats returns a copy of the accumulated loader statistics.
 func (l *Loader) Stats() Stats { return l.stats }
 
-// IsResident reports whether the engine for pair is loaded.
+// IsResident reports whether the engine for pair is loaded (demand or
+// speculative).
 func (l *Loader) IsResident(pair zoo.Pair) bool {
 	pool, err := l.sys.SoC.PoolOf(pair.ProcID)
 	if err != nil {
@@ -157,6 +170,19 @@ func (l *Loader) IsResident(pair zoo.Pair) bool {
 	}
 	_, ok := m[residencyKey(pair.Model, pair.Kind)]
 	return ok
+}
+
+// DemandResident reports whether the engine for pair is loaded and has
+// been demanded by a stream — speculative prefetches don't count, so
+// placement and fallback decisions keyed on residency see exactly the
+// engines a prefetch-free run would.
+func (l *Loader) DemandResident(pair zoo.Pair) bool {
+	pool, err := l.sys.SoC.PoolOf(pair.ProcID)
+	if err != nil {
+		return false
+	}
+	r, ok := l.resident[pool.Name][residencyKey(pair.Model, pair.Kind)]
+	return ok && !r.spec
 }
 
 // ResidentCount returns the number of engines loaded across all pools.
@@ -202,6 +228,18 @@ func (l *Loader) Ensure(pair zoo.Pair) (accel.Cost, error) {
 // that enough unheld bytes exist to fit the engine; if not it fails with
 // ErrNoMemory, leaving residency untouched.
 func (l *Loader) EnsureWith(pair zoo.Pair, exec ExecFn) (accel.Cost, error) {
+	return l.ensureWith(pair, exec, false)
+}
+
+// ensureWith implements demand (speculative=false) and prefetch
+// (speculative=true) loads. Demand loads see speculative residents as
+// ghost occupancy: the fit pre-check, the policy eviction sequence and
+// ErrNoMemory refusals are computed as if speculative engines were free
+// bytes; speculative engines are then silently reclaimed if the bytes
+// are physically needed. Speculative loads reclaim other speculative
+// residents first, then fall back to policy-ordered eviction of unheld
+// demand residents — reference-held engines are never victims.
+func (l *Loader) ensureWith(pair zoo.Pair, exec ExecFn, speculative bool) (accel.Cost, error) {
 	pi, err := l.info(pair)
 	if err != nil {
 		return accel.Cost{}, err
@@ -215,6 +253,9 @@ func (l *Loader) EnsureWith(pair zoo.Pair, exec ExecFn) (accel.Cost, error) {
 	if m := l.resident[pool.Name]; m != nil {
 		if r, ok := m[key]; ok {
 			r.requestedAt = l.seq
+			if r.spec && !speculative {
+				return accel.Cost{}, l.promote(pool, key, r)
+			}
 			return accel.Cost{}, nil
 		}
 	}
@@ -224,21 +265,48 @@ func (l *Loader) EnsureWith(pair zoo.Pair, exec ExecFn) (accel.Cost, error) {
 		return accel.Cost{}, err
 	}
 	if lc.Bytes > pool.Capacity {
-		return accel.Cost{}, fmt.Errorf("loader: %s (%d bytes) exceeds pool %s capacity %d",
-			pair.Model, lc.Bytes, pool.Name, pool.Capacity)
+		return accel.Cost{}, fmt.Errorf("loader: %s (%d bytes) exceeds pool %s capacity %d: %w",
+			pair.Model, lc.Bytes, pool.Name, pool.Capacity, ErrNoMemory)
+	}
+	if speculative {
+		if pool.Available()+l.specBytes(pool)+l.evictableBytes(pool) < lc.Bytes {
+			return accel.Cost{}, fmt.Errorf("loader: speculative %s (%d bytes) does not fit reclaimable bytes of pool %s: %w",
+				pair.Model, lc.Bytes, pool.Name, ErrNoMemory)
+		}
 	}
 
 	// Evict until the engine fits — but only if eviction can succeed at
-	// all, so a doomed load never tears down residency first.
+	// all, so a doomed load never tears down residency first. Speculative
+	// bytes count as available: a prefetch-free run would not have them
+	// occupied.
 	l.pinned[pool.Name] = key
 	defer delete(l.pinned, pool.Name)
-	if pool.Available()+l.evictableBytes(pool) < lc.Bytes {
-		return accel.Cost{}, fmt.Errorf("loader: %s (%d bytes) cannot fit in pool %s: %w",
-			pair.Model, lc.Bytes, pool.Name, ErrNoMemory)
+	if speculative {
+		for pool.Available() < lc.Bytes && l.specBytes(pool) > 0 {
+			if err := l.evictSpecOne(pool); err != nil {
+				return accel.Cost{}, err
+			}
+		}
+		for pool.Available() < lc.Bytes {
+			if err := l.evictOne(pool); err != nil {
+				return accel.Cost{}, err
+			}
+		}
 	}
-	for pool.Available() < lc.Bytes {
-		if err := l.evictOne(pool); err != nil {
-			return accel.Cost{}, err
+	if !speculative {
+		if pool.Available()+l.specBytes(pool)+l.evictableBytes(pool) < lc.Bytes {
+			return accel.Cost{}, fmt.Errorf("loader: %s (%d bytes) cannot fit in pool %s: %w",
+				pair.Model, lc.Bytes, pool.Name, ErrNoMemory)
+		}
+		for pool.Available()+l.specBytes(pool) < lc.Bytes {
+			if err := l.evictOne(pool); err != nil {
+				return accel.Cost{}, err
+			}
+		}
+		for pool.Available() < lc.Bytes {
+			if err := l.evictSpecOne(pool); err != nil {
+				return accel.Cost{}, err
+			}
 		}
 	}
 	if err := pool.Alloc(key, lc.Bytes); err != nil {
@@ -254,6 +322,7 @@ func (l *Loader) EnsureWith(pair zoo.Pair, exec ExecFn) (accel.Cost, error) {
 		bytes:       lc.Bytes,
 		loadedSeq:   l.seq,
 		requestedAt: l.seq,
+		spec:        speculative,
 	}
 
 	// Charge the load to the requesting processor on the virtual platform.
@@ -270,16 +339,56 @@ func (l *Loader) EnsureWith(pair zoo.Pair, exec ExecFn) (accel.Cost, error) {
 	return cost, nil
 }
 
-// evictableBytes sums the resident bytes eviction may reclaim: everything
-// except the pinned (being-loaded) key and reference-held engines.
+// promote converts a speculative resident to a demand resident — a
+// prefetch hit. To keep residency decisions identical to a prefetch-free
+// run (where this demand would have been a real load), it first mirrors
+// that load's behavior: the same ErrNoMemory pre-check, then the same
+// policy-ordered evictions of demand residents, with the speculative
+// bytes (including the promoted engine's own) counting as free.
+func (l *Loader) promote(pool *accel.MemPool, key string, r *resident) error {
+	l.pinned[pool.Name] = key
+	defer delete(l.pinned, pool.Name)
+	if pool.Available()+l.specBytes(pool)+l.evictableBytes(pool) < r.bytes {
+		return fmt.Errorf("loader: %s (%d bytes) cannot fit in pool %s: %w",
+			r.model, r.bytes, pool.Name, ErrNoMemory)
+	}
+	for pool.Available()+l.specBytes(pool) < r.bytes {
+		if err := l.evictOne(pool); err != nil {
+			return err
+		}
+	}
+	r.spec = false
+	// The prefetch-free run would have loaded the engine now: refresh the
+	// FIFO stamp so eviction order stays aligned with it.
+	r.loadedSeq = l.seq
+	return nil
+}
+
+// evictableBytes sums the resident bytes policy eviction may reclaim:
+// everything except the pinned (being-loaded) key, reference-held engines
+// and speculative residents (reclaimed separately as ghost bytes).
 func (l *Loader) evictableBytes(pool *accel.MemPool) int64 {
 	var sum int64
 	pinnedKey := l.pinned[pool.Name]
 	for _, r := range l.resident[pool.Name] {
-		if r.key == pinnedKey || r.refs > 0 {
+		if r.key == pinnedKey || r.refs > 0 || r.spec {
 			continue
 		}
 		sum += r.bytes
+	}
+	return sum
+}
+
+// specBytes sums the bytes held by speculative residents in the pool —
+// ghost occupancy a prefetch-free run would not have. A speculative
+// engine being promoted counts too: the mirrored demand load treats its
+// own bytes as free, exactly like the real load it stands in for.
+func (l *Loader) specBytes(pool *accel.MemPool) int64 {
+	var sum int64
+	for _, r := range l.resident[pool.Name] {
+		if r.spec {
+			sum += r.bytes
+		}
 	}
 	return sum
 }
@@ -306,6 +415,7 @@ func (l *Loader) Acquire(pair zoo.Pair) error {
 		return fmt.Errorf("loader: acquire: %w", err)
 	}
 	r.refs++
+	r.spec = false
 	return nil
 }
 
@@ -404,6 +514,12 @@ func (l *Loader) ResidentFallback(requested zoo.Pair) (zoo.Pair, bool) {
 	var best *resident
 	for _, k := range keys {
 		r := m[k]
+		if r.spec {
+			// Never adopt a speculative resident: a prefetch-free run
+			// would not have it, and falling back to it would let a
+			// prediction steer serving decisions.
+			continue
+		}
 		if r.kind == requested.Kind {
 			best = r
 			break
@@ -411,6 +527,9 @@ func (l *Loader) ResidentFallback(requested zoo.Pair) (zoo.Pair, bool) {
 		if best == nil {
 			best = r
 		}
+	}
+	if best == nil {
+		return zoo.Pair{}, false
 	}
 	procID := requested.ProcID
 	if best.kind != requested.Kind {
@@ -423,7 +542,10 @@ func (l *Loader) ResidentFallback(requested zoo.Pair) (zoo.Pair, bool) {
 	return zoo.Pair{Model: best.model, ProcID: procID, Kind: best.kind}, true
 }
 
-// evictOne removes one engine from the pool according to the policy.
+// evictOne removes one demand engine from the pool according to the
+// policy. Speculative residents are not policy victims — they are ghost
+// occupancy, reclaimed by evictSpecOne only when bytes are physically
+// needed — so the victim sequence matches a prefetch-free run exactly.
 func (l *Loader) evictOne(pool *accel.MemPool) error {
 	m := l.resident[pool.Name]
 	if len(m) == 0 {
@@ -432,7 +554,7 @@ func (l *Loader) evictOne(pool *accel.MemPool) error {
 	var victim *resident
 	pinnedKey := l.pinned[pool.Name]
 	for _, r := range m {
-		if r.key == pinnedKey || r.refs > 0 {
+		if r.key == pinnedKey || r.refs > 0 || r.spec {
 			continue
 		}
 		if victim == nil {
@@ -470,6 +592,31 @@ func (l *Loader) evictOne(pool *accel.MemPool) error {
 	return nil
 }
 
+// evictSpecOne reclaims one speculative resident (lexical key order —
+// deterministic, and invisible to demand decisions by construction).
+func (l *Loader) evictSpecOne(pool *accel.MemPool) error {
+	m := l.resident[pool.Name]
+	pinnedKey := l.pinned[pool.Name]
+	var victim *resident
+	for _, r := range m {
+		if !r.spec || r.key == pinnedKey {
+			continue
+		}
+		if victim == nil || r.key < victim.key {
+			victim = r
+		}
+	}
+	if victim == nil {
+		return fmt.Errorf("loader: pool %s has no speculative engines to reclaim", pool.Name)
+	}
+	if err := pool.Free(victim.key); err != nil {
+		return err
+	}
+	delete(m, victim.key)
+	l.stats.Evictions++
+	return nil
+}
+
 // Prefetch greedily loads the given pairs (in priority order) into whatever
 // memory remains, never evicting — the paper's "occupy the entire memory
 // with ODMs, if it is able to". Prefetch loads are charged like demand
@@ -480,8 +627,27 @@ func (l *Loader) Prefetch(pairs []zoo.Pair) (int, error) {
 }
 
 // PrefetchWith is Prefetch with loads charged through exec (nil = the
-// platform's clock-advancing Exec), for the serving runtime's queueing path.
+// platform's clock-advancing Exec), for the serving runtime's queueing
+// path. Prefetch is best-effort: a pair that cannot fit (ErrNoMemory
+// mid-list — capacity-exceeding engines included) is skipped and the
+// remaining pairs still load; held engines are never evicted.
 func (l *Loader) PrefetchWith(pairs []zoo.Pair, exec ExecFn) (int, error) {
+	return l.prefetchWith(pairs, exec, false)
+}
+
+// PrefetchSpeculative loads pairs as speculative residents — the
+// predictive-prefetch entry point. Like any cache fill it may displace
+// cold entries: other speculative residents are reclaimed first, then
+// unheld demand residents in policy order (reference-held engines
+// never). The loaded engines stay invisible to demand eviction
+// decisions and ResidentFallback until a stream demands them (see
+// resident.spec), so a wrong prediction cannot steer which engine a
+// stream serves from — it costs at most a cold engine's warmth.
+func (l *Loader) PrefetchSpeculative(pairs []zoo.Pair, exec ExecFn) (int, error) {
+	return l.prefetchWith(pairs, exec, true)
+}
+
+func (l *Loader) prefetchWith(pairs []zoo.Pair, exec ExecFn, speculative bool) (int, error) {
 	loaded := 0
 	for _, pair := range pairs {
 		proc, err := l.sys.SoC.Proc(pair.ProcID)
@@ -509,10 +675,16 @@ func (l *Loader) PrefetchWith(pairs []zoo.Pair, exec ExecFn) (int, error) {
 		if err != nil {
 			continue // no engine format for this pool
 		}
-		if pool.Available() < lc.Bytes {
+		if !speculative && pool.Available() < lc.Bytes {
 			continue // prefetch never evicts
 		}
-		if _, err := l.EnsureWith(pair, exec); err != nil {
+		if speculative && pool.Available()+l.specBytes(pool)+l.evictableBytes(pool) < lc.Bytes {
+			continue // best-effort: not enough reclaimable bytes for this pair
+		}
+		if _, err := l.ensureWith(pair, exec, speculative); err != nil {
+			if errors.Is(err, ErrNoMemory) {
+				continue // best-effort: skip this pair, keep loading the rest
+			}
 			return loaded, err
 		}
 		loaded++

@@ -56,7 +56,7 @@ const devicePseudo = "fleet"
 // category groups span kinds for trace filtering.
 func category(k SpanKind) string {
 	switch k {
-	case SpanExec, SpanLoad, SpanLoadHit:
+	case SpanExec, SpanLoad, SpanLoadHit, SpanPrefetch, SpanPrefetchHit:
 		return "engine"
 	case SpanFrame:
 		return "frame"

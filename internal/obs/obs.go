@@ -66,6 +66,15 @@ const (
 	// SpanCrashRecover covers a crashed stream's kill→re-admission
 	// interval, resuming from its journaled checkpoint.
 	SpanCrashRecover
+	// SpanPrefetch covers a speculative engine load issued from a swap
+	// prediction (or a fleet pre-warm), overlapping the predicted next
+	// load with current-frame compute. It never sits on the stream's
+	// critical path — attribution ignores it.
+	SpanPrefetch
+	// SpanPrefetchHit marks a demand acquire served entirely by a
+	// completed prefetch: the swap stall that vanished. Frames carrying
+	// one have a zero Swap component.
+	SpanPrefetchHit
 )
 
 // String returns the kind's trace label.
@@ -91,6 +100,10 @@ func (k SpanKind) String() string {
 		return "brownout"
 	case SpanCrashRecover:
 		return "crash-recover"
+	case SpanPrefetch:
+		return "prefetch"
+	case SpanPrefetchHit:
+		return "prefetch-hit"
 	default:
 		return "?"
 	}
@@ -282,6 +295,21 @@ func (sr *StreamRec) Frame(frame int, arrival, start, done, wait, swap, deadline
 		Exec:     (done - start) - wait - swap,
 		Deadline: deadline,
 	})
+}
+
+// Prefetch buffers one speculative engine load charged on proc over
+// [start, end) — issued during frame (or -1 for a fleet pre-warm at
+// admission), completing off the stream's critical path.
+func (sr *StreamRec) Prefetch(proc, model string, start, end time.Duration, frame int) {
+	sr.pend = append(sr.pend, Span{Kind: SpanPrefetch, Stream: sr.stream, Device: sr.device,
+		Model: model, Proc: proc, Frame: frame, Start: start, End: end})
+}
+
+// PrefetchHit buffers a demand acquire served entirely by a completed
+// prefetch — the swap the prediction hid.
+func (sr *StreamRec) PrefetchHit(model string, at time.Duration, frame int) {
+	sr.pend = append(sr.pend, Span{Kind: SpanPrefetchHit, Stream: sr.stream, Device: sr.device,
+		Model: model, Frame: frame, Start: at, End: at})
 }
 
 // Drain buffers the session's checkpoint-and-close event at time at.

@@ -109,6 +109,11 @@ func (g *Registry) fold(sp Span) {
 	case SpanCrashRecover:
 		g.Inc("crash_recoveries", 1)
 		g.Observe("downtime", sp.Dur())
+	case SpanPrefetch:
+		g.Inc("prefetch_issued", 1)
+		g.Observe("prefetch_load", sp.Dur())
+	case SpanPrefetchHit:
+		g.Inc("prefetch_hits", 1)
 	}
 }
 

@@ -1,0 +1,365 @@
+package predict
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/zoo"
+)
+
+// mk builds the small engine alphabet the tests feed the predictor.
+func mk(model string) zoo.Pair {
+	return zoo.Pair{Model: model, ProcID: "gpu", Kind: accel.KindGPU}
+}
+
+// feed observes a sequence of single-letter engines.
+func feed(p *Predictor, seq string) {
+	for _, c := range seq {
+		p.Observe(mk(string(c)))
+	}
+}
+
+// TestConfidencePromotionDemotion drives the per-entry confidence counter
+// through its whole life cycle on a strict A/B alternation: silent below the
+// threshold, confident once the pattern repeats, demoted (not re-pointed)
+// on the first violation, and re-promoted after the pattern resumes.
+func TestConfidencePromotionDemotion(t *testing.T) {
+	cases := []struct {
+		name      string
+		warmup    string // observed before the check
+		confident bool
+		want      string // predicted next model if confident
+	}{
+		{name: "cold start is silent", warmup: "A", confident: false},
+		{name: "first transition trains but cannot clear threshold", warmup: "AB", confident: false},
+		{name: "unconfirmed entry stays below threshold", warmup: "ABAB", confident: false},
+		{name: "one confirmed repeat promotes", warmup: "ABABAB", confident: true, want: "A"},
+		{name: "confidence saturates, still confident", warmup: "ABABABABABAB", confident: true, want: "A"},
+		{name: "single violation demotes below threshold", warmup: "ABABABCB", confident: false},
+		{name: "pattern resumed re-promotes", warmup: "ABABABCB" + "ABABABAB", confident: true, want: "A"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := New(Config{ConfMax: 2, ConfThreshold: 1})
+			feed(p, tc.warmup)
+			pair, ok := p.Predict()
+			if ok != tc.confident {
+				t.Fatalf("after %q: confident=%v, want %v", tc.warmup, ok, tc.confident)
+			}
+			if ok && pair.Model != tc.want {
+				t.Fatalf("after %q: predicted %s, want %s", tc.warmup, pair.Model, tc.want)
+			}
+		})
+	}
+}
+
+// TestCounterMisdirectionRetargets pins the TAGE update rule that a
+// mispredict first spends confidence and only re-points the entry at zero:
+// a dominant pattern survives a one-off violation without forgetting.
+func TestCounterMisdirectionRetargets(t *testing.T) {
+	p := New(Config{ConfMax: 3, ConfThreshold: 1})
+	feed(p, "ABABABAB")
+	if pair, ok := p.Predict(); !ok || pair.Model != "A" {
+		t.Fatalf("warmed alternation not confident on A: ok=%v pair=%v", ok, pair)
+	}
+	// Violations drain confidence; the entry must not flip to the intruder
+	// until the counter hits zero.
+	feed(p, "CB")
+	if pair, ok := p.Predict(); ok && pair.Model == "C" {
+		t.Fatalf("single violation re-pointed entry at intruder C")
+	}
+	feed(p, "CBCBCB")
+	if pair, ok := p.Predict(); !ok || pair.Model != "C" {
+		t.Fatalf("sustained new pattern not learned: ok=%v pair=%v", ok, pair)
+	}
+}
+
+// TestTagAliasing forces distinct histories into the same tagged entry with
+// a one-slot, one-bit-tag geometry and checks the collision is handled like
+// TAGE handles it: the entry serves whichever pattern owns it, mispredicts
+// from the aliased pattern retrain it through the confidence counter, and
+// predictions never cross the interned-pair table (no out-of-range IDs).
+func TestTagAliasing(t *testing.T) {
+	p := New(Config{
+		BaseBits:  1,
+		TableBits: 1,
+		TagBits:   1,
+		Histories: []int{1, 2},
+	})
+	// Two interleaved alternations (A/B and C/D) hash into the same handful
+	// of entries. The predictor must stay internally consistent: every
+	// prediction resolves to an interned pair.
+	seq := "ABABCDCDABCDADBCABCD"
+	for i, c := range seq {
+		p.Observe(mk(string(c)))
+		if pair, ok := p.Predict(); ok {
+			found := false
+			for _, q := range p.Pairs() {
+				if q == pair {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("step %d: prediction %v is not an interned pair", i, pair)
+			}
+		}
+	}
+	// With one slot per table the dominant closing pattern must still win
+	// through retraining despite aliasing pressure.
+	feed(p, "ABABABABABAB")
+	if pair, ok := p.Predict(); !ok || pair.Model != "A" {
+		t.Fatalf("aliased predictor failed to converge on dominant pattern: ok=%v pair=%v", ok, pair)
+	}
+}
+
+// TestUsefulAgingAndDecay pins the useful-counter life cycle: credit when
+// the provider beats the alternate, allocation preferring useful==0 victims,
+// and the periodic halving that reclaims stale entries.
+func TestUsefulAgingAndDecay(t *testing.T) {
+	p := New(Config{DecayPeriod: 4, UsefulMax: 3})
+
+	// A's successor alternates B and C, so the one-engine base context
+	// waffles while the history-2 tagged context disambiguates: the tagged
+	// provider is correct where the alternate disagrees, earning useful
+	// credit.
+	feed(p, "ABACABACABACABACABAC")
+	credited := 0
+	for j := range p.tables {
+		for i := range p.tables[j] {
+			if e := p.tables[j][i]; e.Valid && e.Useful > 0 {
+				credited++
+			}
+		}
+	}
+	if credited == 0 {
+		t.Fatalf("no tagged entry earned useful credit on a stable pattern")
+	}
+
+	// decay halves every counter: after enough periods all must reach zero.
+	before := maxUseful(p)
+	p.decay()
+	if after := maxUseful(p); after != before>>1 {
+		t.Fatalf("decay: max useful %d -> %d, want %d", before, after, before>>1)
+	}
+	for maxUseful(p) > 0 {
+		p.decay()
+	}
+
+	// With every useful counter at zero, a mispredict must be able to
+	// allocate (the aged entries are reclaimable victims).
+	validBefore := validEntries(p)
+	feed(p, "XYXY")
+	if validEntries(p) == validBefore {
+		t.Fatalf("mispredict failed to allocate over aged (useful==0) entries")
+	}
+}
+
+func maxUseful(p *Predictor) int8 {
+	var m int8
+	for j := range p.tables {
+		for i := range p.tables[j] {
+			if u := p.tables[j][i].Useful; u > m {
+				m = u
+			}
+		}
+	}
+	return m
+}
+
+func validEntries(p *Predictor) int {
+	n := 0
+	for j := range p.tables {
+		for i := range p.tables[j] {
+			if p.tables[j][i].Valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TestDecayPeriodSchedule checks the halving fires on the configured swap
+// cadence: the DecayPeriod-th swap triggers it, the one before does not.
+// The sentinel entry is planted in a slot the cold predictor's first
+// allocations cannot claim (Valid with Useful > 0 is never a victim).
+func TestDecayPeriodSchedule(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		prior int  // swaps already counted toward the period
+		want  int8 // sentinel useful after one observed swap
+	}{
+		{name: "one short of the period does not decay", prior: 2, want: 2},
+		{name: "period boundary halves", prior: 3, want: 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := New(Config{DecayPeriod: 4})
+			for j := range p.tables {
+				for i := range p.tables[j] {
+					p.tables[j][i] = tagEntry{Valid: true, Useful: 2}
+				}
+			}
+			p.swapsSinceDecay = tc.prior
+			feed(p, "AB") // exactly one swap
+			if got := p.tables[0][0].Useful; got != tc.want {
+				t.Fatalf("sentinel useful = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSnapshotRestoreRoundtrip pins the migration contract: a restored
+// predictor is indistinguishable from the original — same predictions, same
+// stats, same future behavior — and the snapshot is a deep copy that later
+// training cannot reach back into.
+func TestSnapshotRestoreRoundtrip(t *testing.T) {
+	p := New(Config{})
+	feed(p, "ABABCACABCABABAB")
+	st := p.Snapshot()
+
+	q := New(Config{})
+	if err := q.Restore(st); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if !reflect.DeepEqual(p.Stats(), q.Stats()) {
+		t.Fatalf("restored stats differ: %+v vs %+v", p.Stats(), q.Stats())
+	}
+	pp, pok := p.Predict()
+	qp, qok := q.Predict()
+	if pok != qok || pp != qp {
+		t.Fatalf("restored prediction differs: (%v,%v) vs (%v,%v)", pp, pok, qp, qok)
+	}
+	// Lockstep future: both must predict and train identically.
+	future := "ABCABCABABAB"
+	for i, c := range future {
+		p.Observe(mk(string(c)))
+		q.Observe(mk(string(c)))
+		pp, pok = p.Predict()
+		qp, qok = q.Predict()
+		if pok != qok || pp != qp {
+			t.Fatalf("step %d: divergence after restore: (%v,%v) vs (%v,%v)", i, pp, pok, qp, qok)
+		}
+	}
+	if !reflect.DeepEqual(p.Stats(), q.Stats()) {
+		t.Fatalf("post-restore stats diverged: %+v vs %+v", p.Stats(), q.Stats())
+	}
+
+	// Deep copy: training the original must not mutate the snapshot.
+	base := append([]baseEntry(nil), st.Base...)
+	feed(p, "XYZXYZXYZ")
+	if !reflect.DeepEqual(base, st.Base) {
+		t.Fatalf("snapshot base table aliased live predictor state")
+	}
+}
+
+// TestRestoreGeometryMismatch rejects snapshots from differently-sized
+// predictors instead of silently misindexing.
+func TestRestoreGeometryMismatch(t *testing.T) {
+	p := New(Config{})
+	feed(p, "ABAB")
+	st := p.Snapshot()
+	for _, cfg := range []Config{
+		{TableBits: 7},
+		{BaseBits: 3},
+		{TagBits: 5},
+		{Histories: []int{2, 4, 8}},
+		{Histories: []int{2, 4, 8, 32}},
+	} {
+		q := New(cfg)
+		if err := q.Restore(st); err == nil {
+			t.Fatalf("restore into geometry %+v: want mismatch error, got nil", cfg)
+		}
+	}
+	var q *Predictor = New(Config{})
+	if err := q.Restore(nil); err == nil {
+		t.Fatalf("restore(nil): want error")
+	}
+}
+
+// TestWorkingSetChain checks the pre-warm walk: on a learned cycle it
+// returns the next engines most-imminent first, stops on a repeat, honors
+// the depth bound, and leaves the predictor's state untouched.
+func TestWorkingSetChain(t *testing.T) {
+	p := New(Config{PrewarmDepth: 2})
+	feed(p, "ABCABCABCABCABC") // learned 3-cycle, last observed C
+	before := p.Snapshot()
+
+	ws := p.WorkingSet(0) // 0 = configured depth
+	if len(ws) != 2 || ws[0].Model != "A" || ws[1].Model != "B" {
+		t.Fatalf("working set = %v, want [A B]", ws)
+	}
+	deep := p.WorkingSet(10) // walks until the cycle repeats
+	if len(deep) != 3 {
+		t.Fatalf("deep working set = %v, want the full 3-cycle", deep)
+	}
+
+	after := p.Snapshot()
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("WorkingSet mutated predictor state")
+	}
+	pair, ok := p.Predict()
+	if !ok || pair.Model != "A" {
+		t.Fatalf("prediction after WorkingSet: ok=%v pair=%v, want A", ok, pair)
+	}
+}
+
+// TestStatsScorecard pins the coverage/accuracy/timeliness arithmetic and
+// the zero-division guards.
+func TestStatsScorecard(t *testing.T) {
+	var z Stats
+	if z.Coverage() != 0 || z.Accuracy() != 0 || z.Timeliness() != 0 {
+		t.Fatalf("zero stats must score 0 across the board")
+	}
+	s := Stats{Swaps: 8, Predicted: 4, Correct: 3, FullHits: 1, LateHits: 3}
+	if got := s.Coverage(); got != 0.5 {
+		t.Fatalf("coverage = %v, want 0.5", got)
+	}
+	if got := s.Accuracy(); got != 0.75 {
+		t.Fatalf("accuracy = %v, want 0.75", got)
+	}
+	if got := s.Timeliness(); got != 0.25 {
+		t.Fatalf("timeliness = %v, want 0.25", got)
+	}
+	var sum Stats
+	sum.Add(s)
+	sum.Add(s)
+	if sum.Swaps != 16 || sum.Predicted != 8 || sum.Correct != 6 {
+		t.Fatalf("Add folded wrong: %+v", sum)
+	}
+}
+
+// TestWithDefaults pins the normalization every layer relies on: zero and
+// negative fields take defaults, set fields survive.
+func TestWithDefaults(t *testing.T) {
+	def := DefaultConfig()
+	if got := (Config{}).WithDefaults(); !reflect.DeepEqual(got, def) {
+		t.Fatalf("zero config normalized to %+v, want defaults", got)
+	}
+	c := Config{TableBits: 9, PrewarmDepth: -1}.WithDefaults()
+	if c.TableBits != 9 {
+		t.Fatalf("set field clobbered: TableBits=%d", c.TableBits)
+	}
+	if c.PrewarmDepth != def.PrewarmDepth {
+		t.Fatalf("negative field not defaulted: PrewarmDepth=%d", c.PrewarmDepth)
+	}
+}
+
+// TestKindDistinguishesEngines pins the residency identity: the same model
+// on different engine kinds is two engines (two residency keys), while the
+// same model+kind on another same-kind processor is one.
+func TestKindDistinguishesEngines(t *testing.T) {
+	p := New(Config{})
+	gpu := zoo.Pair{Model: "M", ProcID: "gpu", Kind: accel.KindGPU}
+	dla0 := zoo.Pair{Model: "M", ProcID: "dla0", Kind: accel.KindDLA}
+	dla1 := zoo.Pair{Model: "M", ProcID: "dla1", Kind: accel.KindDLA}
+	p.Observe(gpu)
+	p.Observe(dla0)
+	p.Observe(dla1) // same key as dla0: not a swap
+	if got := len(p.Pairs()); got != 2 {
+		t.Fatalf("interned %d engines, want 2 (kind splits, same-kind proc does not)", got)
+	}
+	if p.Stats().Swaps != 1 {
+		t.Fatalf("swaps = %d, want 1 (dla0 -> dla1 is not a swap)", p.Stats().Swaps)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/loader"
 	"repro/internal/obs"
+	"repro/internal/predict"
 	"repro/internal/scene"
 	"repro/internal/zoo"
 )
@@ -160,10 +161,29 @@ type Engine struct {
 	stream    string
 	execModel string
 
+	// Predictive prefetch (both nil when disabled — the predictor-off
+	// path executes no new code and stays bit-identical to a build
+	// without it). pred learns the stream's swap sequence; prefReady
+	// tracks in-flight speculative loads by residency key so a demand
+	// acquire can settle them into a full hit (load finished: zero swap
+	// stall) or a late hit (stream stalls only for the residual).
+	pred      *predict.Predictor
+	prefReady map[string]prefFlight
+
 	// step is the per-frame context, reused across frames so the hot loop
 	// stays allocation-free (policies must not retain it past Step).
 	step Step
 }
+
+// prefFlight is one outstanding speculative load.
+type prefFlight struct {
+	ready time.Duration // completion time on the virtual clock
+	dur   time.Duration // charged load latency (stats only)
+}
+
+// resKey is the residency identity of a pair — model plus engine kind,
+// matching the loader's per-pool key.
+func resKey(p zoo.Pair) string { return p.Model + "/" + p.Kind.String() }
 
 // NewEngine builds a solo engine: policy over system and loader, running the
 // sequential single-stream loop.
@@ -246,15 +266,130 @@ func (e *Engine) exec(procID string, latSec, powerW float64) (accel.Cost, error)
 // ensureLoad routes a served-mode engine-residency ensure through exec with
 // the loading flag and model label set, so any charge it incurs is recorded
 // as a demand-load (swap-stall) span — and a zero-cost ensure is recorded
-// as a residency hit.
+// as a residency hit. A zero-cost ensure of an engine with a speculative
+// load in flight settles the prefetch instead: residency went instant when
+// the prefetch issued, so the demand must still pay any part of the load
+// interval that hasn't elapsed yet.
 func (e *Engine) ensureLoad(pair zoo.Pair) (accel.Cost, error) {
 	e.loading, e.execModel = true, pair.Model
 	cost, err := e.dml.EnsureWith(pair, e.exec)
 	e.loading, e.execModel = false, ""
-	if err == nil && e.obs != nil && cost.Lat == 0 {
+	if err != nil {
+		return cost, err
+	}
+	if e.prefReady != nil {
+		if cost.Lat > 0 {
+			// A prefetched engine evicted before demand reloads in full —
+			// drop the stale completion time; the prefetch was pure waste.
+			delete(e.prefReady, resKey(pair))
+		} else if fl, ok := e.prefReady[resKey(pair)]; ok {
+			delete(e.prefReady, resKey(pair))
+			return e.settlePrefetch(pair, fl), nil
+		}
+	}
+	if e.obs != nil && cost.Lat == 0 {
 		e.obs.LoadHit(pair.Model, e.at, e.frameIdx)
 	}
-	return cost, err
+	return cost, nil
+}
+
+// settlePrefetch reconciles a demand acquire with the engine's in-flight
+// speculative load: a full hit if the load completed before the stream's
+// clock (the swap stall vanished), otherwise a late hit where the stream
+// stalls only for the residual — charged as swap, exactly like the demand
+// load it replaces.
+func (e *Engine) settlePrefetch(pair zoo.Pair, fl prefFlight) accel.Cost {
+	if fl.ready <= e.at {
+		if e.pred != nil {
+			e.pred.NoteFullHit(fl.dur.Seconds())
+		}
+		if e.obs != nil {
+			e.obs.PrefetchHit(pair.Model, e.at, e.frameIdx)
+		}
+		return accel.Cost{}
+	}
+	stall := fl.ready - e.at
+	if stall > fl.dur {
+		// The copy channel is backed up: waiting out the queued transfer
+		// would cost more than a fresh synchronous load, so the stream
+		// abandons the wait and reloads on its own clock — a late hit
+		// never stalls longer than the demand load it replaces.
+		stall = fl.dur
+	}
+	start := e.at
+	e.at += stall
+	saved := fl.dur - stall
+	if e.pred != nil {
+		e.pred.NoteLateHit(saved.Seconds(), stall.Seconds())
+	}
+	if e.obs != nil {
+		e.loadDur += stall
+		e.obs.Load(pair.ProcID, pair.Model, start, fl.ready, e.frameIdx)
+	}
+	return accel.Cost{Lat: stall}
+}
+
+// overlapExec returns the exec hook for a speculative load of pair: the
+// load transfers over the SoC's DMA channel from the stream's current time
+// and runs concurrently with the stream's own compute — the stream clock
+// does not advance, no wait accrues and no processor is occupied, which is
+// the whole point of prefetching. Concurrent speculative loads serialize
+// FIFO on the one channel.
+func (e *Engine) overlapExec(pair zoo.Pair) loader.ExecFn {
+	return func(procID string, latSec, powerW float64) (accel.Cost, error) {
+		soc := e.sys.SoC
+		if soc.TraceAttached() {
+			soc.SetExecLabel(e.stream, pair.Model)
+		}
+		span, err := soc.CopyFrom(e.at, latSec, powerW)
+		if err != nil {
+			return accel.Cost{}, err
+		}
+		e.prefReady[resKey(pair)] = prefFlight{ready: span.End, dur: span.Cost.Lat}
+		if e.pred != nil {
+			e.pred.NoteIssued()
+		}
+		if e.obs != nil {
+			e.obs.Prefetch(accel.DMAProcID, pair.Model, span.Start, span.End, e.frameIdx)
+		}
+		return span.Cost, nil
+	}
+}
+
+// prefetchTick runs at the start of a served frame: if the predictor has a
+// confident next-engine prediction whose engine is not already resident,
+// issue a speculative load for it over the DMA channel. Redundant and
+// no-memory issues are skipped inside the loader; held engines are never
+// displaced and no serving decision keys on the speculative resident.
+func (e *Engine) prefetchTick() error {
+	pair, ok := e.pred.Predict()
+	if !ok || !e.haveHeld {
+		return nil
+	}
+	if e.dml.IsResident(pair) {
+		return nil
+	}
+	_, err := e.dml.PrefetchSpeculative([]zoo.Pair{pair}, e.overlapExec(pair))
+	return err
+}
+
+// prewarm speculatively loads a predicted working set at admission time —
+// the fleet's pre-warm for migrating and arriving streams. Loads overlap
+// whatever the stream does next; engines already resident (including the
+// re-acquired held engine of a restored session) are skipped.
+func (e *Engine) prewarm(pairs []zoo.Pair) error {
+	if e.prefReady == nil {
+		return nil
+	}
+	for _, p := range pairs {
+		if e.dml.IsResident(p) {
+			continue
+		}
+		if _, err := e.dml.PrefetchSpeculative([]zoo.Pair{p}, e.overlapExec(p)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Prefetch greedily loads pairs into free memory, charging like demand loads

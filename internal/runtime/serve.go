@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/loader"
+	"repro/internal/predict"
 	"repro/internal/scene"
 	"repro/internal/zoo"
 )
@@ -23,6 +24,13 @@ type StreamSpec struct {
 	// Policy is this stream's decision logic. Policies are stateful and must
 	// not be shared between streams.
 	Policy Policy
+	// Prefetch enables TAGE-style swap prediction with speculative overlap
+	// prefetch for the stream (internal/predict); nil disables it. The
+	// predictor is strictly advisory — with it nil the serving path is
+	// bit-identical to a build without it, and with it set the decision
+	// stream (pairs, detections, fallbacks) is unchanged; only latency and
+	// energy move.
+	Prefetch *predict.Config
 }
 
 // FrameTiming is the queueing-aware timing of one served frame.

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/loader"
 	"repro/internal/obs"
+	"repro/internal/predict"
 	"repro/internal/scene"
 	"repro/internal/zoo"
 )
@@ -60,6 +61,10 @@ func newSession(sys *zoo.System, dml *loader.Loader, spec StreamSpec, name strin
 	eng.served = true
 	eng.at = at
 	eng.stream = name
+	if spec.Prefetch != nil {
+		eng.pred = predict.New(*spec.Prefetch)
+		eng.prefReady = map[string]prefFlight{}
+	}
 	return &Session{
 		spec: spec,
 		eng:  eng,
@@ -166,11 +171,23 @@ func (s *Session) Step() error {
 	ready := s.ReadyAt()
 	s.eng.at, s.eng.wait = ready, 0
 	st := s.eng.beginStep(frame, i)
+	if s.eng.pred != nil {
+		// Issue a confident swap prediction as a speculative load before
+		// the frame's compute, so the load overlaps it.
+		if err := s.eng.prefetchTick(); err != nil {
+			return fmt.Errorf("runtime: %s frame %d: prefetch: %w", s.res.Name, frame.Index, err)
+		}
+	}
 	if err := s.spec.Policy.Step(st); err != nil {
 		return fmt.Errorf("runtime: %s frame %d: %w", s.res.Name, frame.Index, err)
 	}
 	st.rec.Swapped = i > 0 && st.rec.Pair != s.prev
 	s.prev = st.rec.Pair
+	if s.eng.pred != nil {
+		// Train on the engine that actually served: swap episodes are
+		// scored and the history advances exactly once per transition.
+		s.eng.pred.Observe(st.rec.Pair)
+	}
 	s.res.Result.Records = append(s.res.Result.Records, st.rec)
 	s.res.Timings = append(s.res.Timings, FrameTiming{
 		Arrival:  s.arrivalOf(i),
@@ -212,6 +229,13 @@ type SessionSnapshot struct {
 	policyState any
 	held        zoo.Pair
 	haveHeld    bool
+
+	// predState carries the swap predictor's learned history so a migrated
+	// stream keeps predicting from frame one on its new device. It rides
+	// only the in-memory snapshot, never the durable wire format
+	// (SnapshotData): crash-recovered streams re-learn, and the journal
+	// byte stream stays bit-identical with the predictor on or off.
+	predState *predict.State
 }
 
 // Name returns the checkpointed stream's label.
@@ -267,8 +291,17 @@ func (s *Session) Snapshot() *SessionSnapshot {
 	if pp, ok := s.spec.Policy.(PortablePolicy); ok {
 		sn.policyState = pp.SnapshotState()
 	}
+	if s.eng.pred != nil {
+		sn.predState = s.eng.pred.Snapshot()
+	}
 	return sn
 }
+
+// SetPrefetch installs (or clears) a swap-predictor config on the
+// checkpointed spec, so a snapshot decoded from the durable wire format —
+// which intentionally carries no prefetch state — resumes with prediction
+// enabled when the fleet is configured for it.
+func (sn *SessionSnapshot) SetPrefetch(cfg *predict.Config) { sn.spec.Prefetch = cfg }
 
 // RestoreSession resumes a checkpointed stream on sys/dml at virtual time at
 // (no earlier than the checkpoint's horizon): the frame cursor, camera
@@ -314,6 +347,11 @@ func RestoreSession(sys *zoo.System, dml *loader.Loader, snap *SessionSnapshot, 
 	} else {
 		if err := s.start(); err != nil {
 			return nil, errors.Join(err, s.Close())
+		}
+	}
+	if s.eng.pred != nil && snap.predState != nil {
+		if err := s.eng.pred.Restore(snap.predState); err != nil {
+			return nil, errors.Join(fmt.Errorf("runtime: restore stream %s: %w", snap.name, err), s.Close())
 		}
 	}
 	if snap.haveHeld {
@@ -487,6 +525,33 @@ func SnapshotFromData(d *SnapshotData, frames []scene.Frame) (*SessionSnapshot, 
 		held:        d.Held,
 		haveHeld:    d.HaveHeld,
 	}, nil
+}
+
+// Prewarm speculatively loads the given pairs at admission time — the
+// fleet's pre-warm for arriving and migrating streams. No-op when the
+// session's spec has no prefetch config; the loads overlap whatever the
+// stream does next and never evict or steer (loader.PrefetchSpeculative).
+func (s *Session) Prewarm(pairs []zoo.Pair) error {
+	return s.eng.prewarm(pairs)
+}
+
+// PredictedWorkingSet walks the predictor's confident prediction chain —
+// the engines the stream is expected to demand next, most-imminent first.
+// depth <= 0 uses the config's PrewarmDepth; nil without a predictor.
+func (s *Session) PredictedWorkingSet(depth int) []zoo.Pair {
+	if s.eng.pred == nil {
+		return nil
+	}
+	return s.eng.pred.WorkingSet(depth)
+}
+
+// PrefetchStats returns the session's predictor scorecard (zero-valued
+// when prediction is disabled).
+func (s *Session) PrefetchStats() predict.Stats {
+	if s.eng.pred == nil {
+		return predict.Stats{}
+	}
+	return s.eng.pred.Stats()
 }
 
 // Close releases the session's residency hold so the shared pools end clean.

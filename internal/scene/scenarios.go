@@ -276,6 +276,45 @@ func ScenarioFastManeuver() *Scenario {
 	}
 }
 
+// ScenarioOscillate is a second stress scenario beyond the paper's six: the
+// context flips between near/easy (close drone, high contrast, gradient sky)
+// and far/hard (distant drone, low contrast foliage) every 40 frames, forcing
+// the scheduler to swap engines at each boundary. It is the miss-heavy regime
+// the predictive-prefetch experiment measures: the swap sequence is periodic,
+// so a history-based predictor can see every swap coming. Not part of
+// EvaluationSuite — Table III stays faithful to the paper — but used by
+// experiments.PrefetchSweep and available via ByName.
+func ScenarioOscillate() *Scenario {
+	osc := func(name string, easy bool) Segment {
+		if easy {
+			return Segment{
+				Name: name, Frames: 40, Texture: img.TextureGradient,
+				IntensityFrom: 150, IntensityTo: 150, PanSpeed: 0.002,
+				FromX: 0.45, FromY: 0.5, ToX: 0.55, ToY: 0.5,
+				DistFrom: 0.18, DistTo: 0.18, Contrast: 0.9, Visible: true, NoiseStd: 2,
+			}
+		}
+		return Segment{
+			Name: name, Frames: 40, Texture: img.TextureFoliage,
+			IntensityFrom: 100, IntensityTo: 100, PanSpeed: 0.005,
+			FromX: 0.55, FromY: 0.5, ToX: 0.45, ToY: 0.45,
+			DistFrom: 0.85, DistTo: 0.85, Contrast: 0.3, Visible: true, NoiseStd: 3,
+		}
+	}
+	return &Scenario{
+		Name:   "oscillate",
+		Desc:   "Context oscillates near/easy vs far/hard every 40 frames (miss-heavy swap stress)",
+		W:      DefaultW,
+		H:      DefaultH,
+		Indoor: false,
+		Segments: []Segment{
+			osc("easy-1", true), osc("hard-1", false),
+			osc("easy-2", true), osc("hard-2", false),
+			osc("easy-3", true), osc("hard-3", false),
+		},
+	}
+}
+
 // EvaluationSuite returns the six evaluation scenarios in order, mirroring
 // the paper's custom dataset of six videos (two indoor, four outdoor,
 // 500-2500 frames each).
@@ -288,7 +327,7 @@ func EvaluationSuite() []*Scenario {
 // ByName returns the scenario with the given name, searching the evaluation
 // suite plus the extra stress scenarios.
 func ByName(name string) (*Scenario, error) {
-	for _, s := range append(EvaluationSuite(), ScenarioFastManeuver()) {
+	for _, s := range append(EvaluationSuite(), ScenarioFastManeuver(), ScenarioOscillate()) {
 		if s.Name == name {
 			return s, nil
 		}
