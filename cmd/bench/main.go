@@ -5,10 +5,12 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench [-out BENCH_2026-07-28.json] [-baseline BENCH_old.json] [-cpuprofile bench.pprof]
+//	go run ./cmd/bench [-out BENCH_2026-07-28.json] [-date 2026-07-28] [-baseline BENCH_old.json] [-cpuprofile bench.pprof]
 //
 // With -baseline, per-benchmark speedups against the older file are computed
-// and embedded. Wall-clock results measure the harness itself; the headline
+// and embedded. With -date, the document's date stamp (and the default -out
+// filename derived from it) is pinned instead of read from the wall clock,
+// so CI can produce byte-stable artifact names. Wall-clock results measure the harness itself; the headline
 // block records simulated metrics (virtual seconds and Joules), which are
 // deterministic per seed and must not drift when only performance changes.
 package main
@@ -20,6 +22,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"testing"
 	"time"
 
@@ -57,12 +60,22 @@ type Doc struct {
 }
 
 func main() {
-	out := flag.String("out", fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02")),
-		"output JSON path")
+	out := flag.String("out", "", "output JSON path (default BENCH_<date>.json)")
+	date := flag.String("date", "", "date stamp (YYYY-MM-DD) for the default -out filename and the Date field; empty means today, which drifts — pass a fixed date for reproducible artifacts in CI")
 	basePath := flag.String("baseline", "", "optional older BENCH_*.json to compute speedups against")
 	notes := flag.String("notes", "", "free-form notes recorded in the document")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole benchmark run to this file")
 	flag.Parse()
+
+	stamp := *date
+	if stamp == "" {
+		stamp = time.Now().Format("2006-01-02") //detlint:allow wallclock default artifact date stamp; -date pins it for reproducible CI runs
+	} else if _, err := time.Parse("2006-01-02", stamp); err != nil {
+		fatal(fmt.Errorf("-date %q: want YYYY-MM-DD", stamp))
+	}
+	if *out == "" {
+		*out = fmt.Sprintf("BENCH_%s.json", stamp)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -98,7 +111,7 @@ func main() {
 
 	doc := &Doc{
 		Schema:     "repro-bench/v1",
-		Date:       time.Now().Format("2006-01-02"),
+		Date:       stamp,
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Results:    map[string]Result{},
@@ -565,9 +578,16 @@ func loadBaseline(path string) (map[string]Result, error) {
 	return old.Results, nil
 }
 
-// report prints a human-readable summary to stderr.
+// report prints a human-readable summary to stderr, in name order so two
+// runs of the same document render identically.
 func report(doc *Doc) {
-	for name, r := range doc.Results {
+	names := make([]string, 0, len(doc.Results))
+	for name := range doc.Results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := doc.Results[name]
 		line := fmt.Sprintf("%-20s %12.0f ns/%-5s %8d B/op %6d allocs/op",
 			name, r.NsPerOp, r.Unit, r.BytesPerOp, r.AllocsPerOp)
 		if s, ok := doc.Speedup[name]; ok {

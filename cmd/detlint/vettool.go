@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// vetConfig mirrors the JSON configuration the go command writes for each
+// package when detlint runs under go vet -vettool (the unitchecker
+// protocol; see cmd/go/internal/work.vetConfig). Only the fields detlint
+// consumes are declared.
+type vetConfig struct {
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// runVettool executes one package's analysis under the vet driver: parse
+// the files the go command hands us, type-check against its cached export
+// data, run the suite, and write the (empty — detlint exchanges no facts)
+// vetx output the driver expects.
+func runVettool(cfgPath string) {
+	raw, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		fatal(fmt.Errorf("parse %s: %w", cfgPath, err))
+	}
+
+	// The driver feeds test variants too (ID like "pkg [pkg.test]").
+	// detlint's contract covers shipped simulation code only: test files
+	// legitimately use wall-clock timeouts and scratch goroutines, so the
+	// _test.go files are dropped and the remaining files — identical to
+	// the plain build — have already been checked under the package's own
+	// vet action. Analyzing them again here would double-report.
+	testVariant := strings.Contains(cfg.ID, " [") || strings.HasSuffix(cfg.ImportPath, "_test") ||
+		strings.HasSuffix(cfg.ImportPath, ".test")
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			files = append(files, f)
+		}
+	}
+
+	if cfg.VetxOnly || testVariant || len(files) == 0 {
+		writeVetx(cfg.VetxOutput)
+		return
+	}
+
+	fset := token.NewFileSet()
+	var parsed []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fatal(err)
+		}
+		parsed = append(parsed, f)
+	}
+
+	pkg, err := typecheckWithExportData(fset, parsed, &cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx(cfg.VetxOutput)
+			return
+		}
+		fatal(fmt.Errorf("typecheck %s: %w", cfg.ImportPath, err))
+	}
+
+	diags, err := analysis.RunPackage(pkg, analysis.All())
+	if err != nil {
+		fatal(err)
+	}
+	writeVetx(cfg.VetxOutput)
+	found := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		found++
+		fmt.Fprintln(os.Stderr, d.String())
+	}
+	if found > 0 {
+		os.Exit(2)
+	}
+}
+
+// typecheckWithExportData type-checks the parsed files resolving imports
+// through the go command's compiled export data (cfg.PackageFile, keyed
+// via cfg.ImportMap) — the same data the compiler itself used, so vettool
+// runs pay no source re-type-checking cost.
+func typecheckWithExportData(fset *token.FileSet, files []*ast.File, cfg *vetConfig) (*analysis.Package, error) {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, compiler, lookup)
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	tconf := types.Config{Importer: imp, FakeImportC: true}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &analysis.Package{
+		Path:  cfg.ImportPath,
+		Dir:   cfg.Dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// writeVetx satisfies the driver's expectation of a facts file. detlint
+// analyzers are package-local and exchange no facts, so the file is empty;
+// it still must exist for the go command to cache the vet action.
+func writeVetx(path string) {
+	if path == "" {
+		return
+	}
+	if err := os.WriteFile(path, nil, 0o666); err != nil {
+		fatal(err)
+	}
+}

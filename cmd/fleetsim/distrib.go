@@ -79,7 +79,7 @@ func runCoordinator(workers, streams int, period float64, seed uint64, killOne b
 	}
 	jobs := distribJobs(streams, period, seed)
 	fmt.Printf("serving %d streams across %d worker processes...\n", len(jobs), workers)
-	start := time.Now()
+	start := time.Now() //detlint:allow wallclock CLI progress timer over real worker processes, printed only
 	rep, err := c.Run(jobs)
 	if err != nil {
 		return err
@@ -100,7 +100,7 @@ func runCoordinator(workers, streams int, period float64, seed uint64, killOne b
 			jr.Stream, jr.Served, jr.Workers, jr.Replayed, status)
 	}
 	fmt.Printf("\n%d streams on %d workers in %v | deaths %d, retries %d | journal %d writes, %.1f KiB\n",
-		len(jobs), workers, time.Since(start).Round(time.Millisecond),
+		len(jobs), workers, time.Since(start).Round(time.Millisecond), //detlint:allow wallclock CLI progress timer over real worker processes, printed only
 		rep.WorkerDeaths, rep.Retries, rep.JournalWrites, float64(rep.JournalBytes)/1024)
 	if err := c.Shutdown(); err != nil {
 		return err

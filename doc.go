@@ -86,8 +86,15 @@
 //     recorder cell served predictor-off then predictor-on, putting the
 //     SupraX-style coverage/accuracy/timeliness scorecard next to the
 //     swap-stall share of the p99 tail before and after).
+//   - internal/analysis: detlint, the static determinism-lint suite — five
+//     analyzers (wallclock, globalrand, maporder, goroutine, forkshare)
+//     built on the standard library's go/ast and go/types that enforce the
+//     bit-identity invariants at build time, with a //detlint:allow
+//     site-by-site escape hatch whose inventory is pinned by a golden test
+//     (DESIGN.md §15).
 //   - cmd/: shiftsim, characterize, sweep, figures, bench, render, report,
-//     fleetsim.
+//     fleetsim, detlint (standalone linter, go vet -vettool, and
+//     -inventory suppression listing).
 //   - examples/: quickstart, dronechase, energybudget, customzoo, livefeed,
 //     edgefarm.
 //

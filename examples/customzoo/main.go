@@ -21,6 +21,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"repro/internal/accel"
 	"repro/internal/confgraph"
@@ -75,9 +76,14 @@ func run(sys *zoo.System, ch *profile.Characterization) metrics.Summary {
 	for _, rec := range res.Records {
 		counts[rec.Pair.String()]++
 	}
+	pairs := make([]string, 0, len(counts))
+	for pair := range counts {
+		pairs = append(pairs, pair)
+	}
+	sort.Strings(pairs)
 	fmt.Println("pair usage:")
-	for pair, n := range counts {
-		fmt.Printf("  %-26s %5d frames\n", pair, n)
+	for _, pair := range pairs {
+		fmt.Printf("  %-26s %5d frames\n", pair, counts[pair])
 	}
 	return metrics.Summarize(res)
 }

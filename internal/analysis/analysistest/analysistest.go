@@ -1,0 +1,220 @@
+// Package analysistest runs a detlint analyzer over packages under a
+// testdata/src tree and checks its diagnostics against expectations
+// embedded in the source as comments, mirroring the x/tools harness of the
+// same name on the standard library only.
+//
+// Expectation grammar, anchored to the comment's line:
+//
+//	// want `regexp` `regexp2`           diagnostics reported at this line
+//	// want-suppressed `regexp`          a diagnostic reported here but
+//	                                     suppressed by //detlint:allow
+//
+// Every diagnostic must be matched by exactly one expectation and vice
+// versa; want-suppressed makes annotation tests non-vacuous by asserting
+// the analyzer still sees the site rather than missing it. Regexps may be
+// back-quoted or double-quoted.
+//
+// Package import paths under testdata/src resolve there first, then fall
+// back to the enclosing module (so testdata can import the real
+// repro/internal/par and repro/internal/rng) and finally the standard
+// library.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestData returns the absolute path of the caller package's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run loads each package path from testdata/src and applies the analyzer,
+// reporting mismatches between diagnostics and want expectations as test
+// errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.Overlay = []string{filepath.Join(testdata, "src")}
+	for _, path := range paths {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
+		pkg, err := loader.LoadDir(path, dir)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: typecheck: %v", path, terr)
+		}
+		if len(pkg.TypeErrors) > 0 {
+			continue
+		}
+		diags, err := analysis.RunPackage(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		check(t, pkg, diags)
+	}
+}
+
+// expectation is one want/want-suppressed marker.
+type expectation struct {
+	file       string
+	line       int
+	re         *regexp.Regexp
+	suppressed bool
+	matched    bool
+}
+
+func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	expects, err := parseExpectations(pkg)
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	for _, d := range diags {
+		if !match(expects, d) {
+			kind := "diagnostic"
+			if d.Suppressed {
+				kind = "suppressed diagnostic"
+			}
+			t.Errorf("%s: unexpected %s: [%s] %s", posString(d), kind, d.Analyzer, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			kind := "want"
+			if e.suppressed {
+				kind = "want-suppressed"
+			}
+			t.Errorf("%s:%d: no diagnostic matched %s %q", e.file, e.line, kind, e.re)
+		}
+	}
+}
+
+func match(expects []*expectation, d analysis.Diagnostic) bool {
+	for _, e := range expects {
+		if e.matched || e.suppressed != d.Suppressed {
+			continue
+		}
+		if e.file == d.Pos.Filename && e.line == d.Pos.Line && e.re.MatchString(d.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func posString(d analysis.Diagnostic) string {
+	return fmt.Sprintf("%s:%d:%d", d.Pos.Filename, d.Pos.Line, d.Pos.Column)
+}
+
+// parseExpectations scans every comment in the package for want markers.
+func parseExpectations(pkg *analysis.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := pkg.Fset.Position(c.Pos())
+				exps, err := parseComment(c.Text, pos.Filename, pos.Line)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, exps...)
+			}
+		}
+	}
+	return out, nil
+}
+
+var wantMarker = regexp.MustCompile(`\bwant(-suppressed)?\s`)
+
+func parseComment(text, file string, line int) ([]*expectation, error) {
+	loc := wantMarker.FindStringSubmatchIndex(text)
+	if loc == nil {
+		return nil, nil
+	}
+	suppressed := loc[2] >= 0
+	rest := text[loc[1]:]
+	var out []*expectation
+	for {
+		rest = strings.TrimLeft(rest, " \t")
+		if rest == "" {
+			break
+		}
+		var pat string
+		switch rest[0] {
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("%s:%d: unterminated back-quoted want pattern", file, line)
+			}
+			pat = rest[1 : 1+end]
+			rest = rest[2+end:]
+		case '"':
+			// Re-use Go string syntax for escaped patterns.
+			q, err := strconv.QuotedPrefix(rest)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad quoted want pattern: %v", file, line, err)
+			}
+			pat, err = strconv.Unquote(q)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad quoted want pattern: %v", file, line, err)
+			}
+			rest = rest[len(q):]
+		default:
+			// End of patterns (trailing prose is tolerated).
+			rest = ""
+			continue
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", file, line, pat, err)
+		}
+		out = append(out, &expectation{file: file, line: line, re: re, suppressed: suppressed})
+	}
+	// A bare "want" with no quoted pattern is prose, not a marker.
+	return out, nil
+}
+
+// WriteInventoryGolden is a test helper: it renders allow sites the same
+// way cmd/detlint -inventory does, for golden comparison.
+func WriteInventoryGolden(root string, sites []analysis.AllowSite) string {
+	var b strings.Builder
+	for _, s := range sites {
+		name := s.Pos.Filename
+		if r, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(r, "..") {
+			name = filepath.ToSlash(r)
+		}
+		fmt.Fprintf(&b, "%s:%d\t%s\t%s\n", name, s.Pos.Line, s.Analyzer, s.Reason)
+	}
+	return b.String()
+}
+
+// ReadFileOrEmpty returns the file's contents, or "" when absent — used by
+// golden tests that regenerate with -update.
+func ReadFileOrEmpty(path string) string {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return ""
+	}
+	return string(raw)
+}

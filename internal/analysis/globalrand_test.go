@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestGlobalrand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.GlobalrandAnalyzer,
+		"globalrand/a", "globalrand/x/internal/rng")
+}

@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestGoroutine(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.GoroutineAnalyzer,
+		"goroutine/a", "goroutine/x/internal/par", "goroutine/x/internal/distrib")
+}

@@ -1,0 +1,74 @@
+package analysis_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+var update = flag.Bool("update", false, "rewrite the inventory golden file")
+
+// loadRepo type-checks every package in the module, once per test binary.
+func loadRepo(t *testing.T) (*analysis.Loader, []*analysis.Package) {
+	t.Helper()
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loader, pkgs
+}
+
+// TestRepoIsLintClean is the meta-test behind the CI gate: the full
+// determinism suite over every package in the module must report zero
+// unsuppressed diagnostics. A new finding fails here first, with the same
+// message cmd/detlint would print.
+func TestRepoIsLintClean(t *testing.T) {
+	_, pkgs := loadRepo(t)
+	if len(pkgs) == 0 {
+		t.Fatal("loaded zero packages from the module")
+	}
+	suite := analysis.All()
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: typecheck: %v", pkg.Path, terr)
+		}
+		diags, err := analysis.RunPackage(pkg, suite)
+		if err != nil {
+			t.Errorf("%s: %v", pkg.Path, err)
+			continue
+		}
+		for _, d := range diags {
+			if !d.Suppressed {
+				t.Errorf("unsuppressed: %s", d)
+			}
+		}
+	}
+}
+
+// TestInventoryGolden pins the repository's //detlint:allow suppression
+// set: adding (or removing) an escape hatch anywhere in the tree requires
+// regenerating the golden with -update, so each one shows up in review.
+func TestInventoryGolden(t *testing.T) {
+	loader, pkgs := loadRepo(t)
+	got := analysistest.WriteInventoryGolden(loader.ModuleRoot, analysis.Inventory(pkgs))
+	golden := filepath.Join("testdata", "inventory.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want := analysistest.ReadFileOrEmpty(golden)
+	if got != want {
+		t.Errorf("suppression inventory drifted from %s (run go test ./internal/analysis -run TestInventoryGolden -update):\ngot:\n%swant:\n%s",
+			golden, got, want)
+	}
+}

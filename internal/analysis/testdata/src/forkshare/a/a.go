@@ -1,0 +1,78 @@
+// Package a exercises the forkshare analyzer against the real pool and
+// stream types: closures handed to par fan-outs must not draw from a
+// captured rng.Stream — they derive per-task children or index a
+// pre-planned slice instead.
+package a
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+// sharedDraw is the bug: every worker advances the same stream, so the
+// interleaving of draws depends on scheduling.
+func sharedDraw(s *rng.Stream, out []float64) {
+	par.ForEach(len(out), func(i int) {
+		out[i] = s.Float64() // want `rng.Stream "s" captured by closure passed to par fan-out without a Fork`
+	})
+}
+
+// forkInside is safe: the captured parent is only used as a Fork receiver,
+// and each worker draws from its own child.
+func forkInside(s *rng.Stream, out []float64) {
+	par.ForEach(len(out), func(i int) {
+		child := s.Fork(fmt.Sprintf("task-%d", i))
+		out[i] = child.Float64()
+	})
+}
+
+// prePlanned is the planning-pass idiom: streams are forked sequentially
+// before the fan-out, and workers only index the slice.
+func prePlanned(parent *rng.Stream, out []float64) {
+	streams := make([]*rng.Stream, len(out))
+	for i := range streams {
+		streams[i] = parent.Fork(fmt.Sprintf("task-%d", i))
+	}
+	par.ForEach(len(out), func(i int) {
+		out[i] = streams[i].Float64()
+	})
+}
+
+// escapes hands the shared stream to a callee — the draw just happens one
+// frame deeper, so it is still a finding.
+func escapes(s *rng.Stream, out []float64) {
+	par.ForEach(len(out), func(i int) {
+		out[i] = consume(s) // want `rng.Stream "s" captured by closure passed to par fan-out without a Fork`
+	})
+}
+
+func consume(s *rng.Stream) float64 { return s.Float64() }
+
+// fork2IntoShared forks safely from the parent but writes every child into
+// one captured destination: the receiver is exempt, the shared dst is not.
+func fork2IntoShared(s *rng.Stream, out []float64) {
+	var dst rng.Stream
+	par.ForEach(len(out), func(i int) {
+		s.Fork2Into(fmt.Sprint(i), "", &dst) // want `rng.Stream "dst" captured by closure passed to par fan-out without a Fork`
+		out[i] = dst.Float64()
+	})
+}
+
+// mapErrShared proves every par entry point is covered, not just ForEach.
+func mapErrShared(s *rng.Stream, out []float64) error {
+	return par.MapErr(len(out), func(i int) error {
+		out[i] = s.Float64() // want `rng.Stream "s" captured by closure passed to par fan-out without a Fork`
+		return nil
+	})
+}
+
+// annotated shows the escape hatch for a deliberately shared stream (a
+// stress harness that wants scheduling noise, say).
+func annotated(s *rng.Stream, out []float64) {
+	par.ForEach(len(out), func(i int) {
+		//detlint:allow forkshare stress harness deliberately injects scheduling noise
+		out[i] = s.Float64() // want-suppressed `rng.Stream "s" captured`
+	})
+}

@@ -1,0 +1,18 @@
+// Package a exercises the globalrand analyzer: importing math/rand (v1 or
+// v2) outside internal/rng is a finding regardless of how the import is
+// spelled or used; crypto/rand is not in scope.
+package a
+
+import (
+	crand "crypto/rand"
+	"math/rand"           // want `import of "math/rand" outside internal/rng`
+	mrand2 "math/rand/v2" // want `import of "math/rand/v2" outside internal/rng`
+
+	_ "math/rand/v2" //detlint:allow globalrand blank import kept to pin the annotation escape hatch // want-suppressed `import of "math/rand/v2"`
+)
+
+func draws() (int, uint64, []byte) {
+	buf := make([]byte, 8)
+	_, _ = crand.Read(buf)
+	return rand.Intn(10), mrand2.Uint64(), buf
+}

@@ -1,0 +1,61 @@
+// Package a exercises the goroutine analyzer: raw go statements and
+// sync.WaitGroup fan-out belong in internal/par / internal/distrib, where
+// scheduling is planned; anywhere else they make replay order a race.
+package a
+
+import "sync"
+
+// rawGo is the basic finding: an unstructured goroutine.
+func rawGo(work func()) {
+	go work() // want `raw go statement outside internal/par and internal/distrib`
+}
+
+// rawGoInLoop is the fan-out shape the par pool exists to replace.
+func rawGoInLoop(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		go fn(i) // want `raw go statement outside internal/par and internal/distrib`
+	}
+}
+
+// wgVar declares a WaitGroup: hand-rolled fan-out control.
+func wgVar(n int, fn func(int)) {
+	var wg sync.WaitGroup // want `sync.WaitGroup fan-out outside internal/par and internal/distrib`
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) { // want `raw go statement outside internal/par and internal/distrib`
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// wgParam flags WaitGroups smuggled in through a signature too.
+func wgParam(wg *sync.WaitGroup) { // want `sync.WaitGroup fan-out outside internal/par and internal/distrib`
+	wg.Done()
+}
+
+// wgField flags WaitGroups embedded in state.
+type runner struct {
+	wg sync.WaitGroup // want `sync.WaitGroup fan-out outside internal/par and internal/distrib`
+}
+
+// annotated shows the escape hatch for a deliberate background goroutine
+// (e.g. an os/signal listener that never touches simulation state).
+func annotated(sig <-chan struct{}, stop func()) {
+	//detlint:allow goroutine signal listener; never touches simulation state
+	go func() { // want-suppressed `raw go statement`
+		<-sig
+		stop()
+	}()
+}
+
+// syncOK proves only WaitGroup is in scope for the type check: Mutex and
+// Once are synchronization, not fan-out.
+func syncOK() {
+	var mu sync.Mutex
+	var once sync.Once
+	mu.Lock()
+	once.Do(func() {})
+	mu.Unlock()
+}

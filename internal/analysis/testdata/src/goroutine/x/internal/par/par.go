@@ -1,0 +1,29 @@
+// Package par mirrors the real worker pool: any package whose import path
+// ends in internal/par is exempt, so the canonical goroutine + WaitGroup
+// worker loop below must produce no findings.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach is the exempt idiom copied from the real pool: fixed worker
+// count, WaitGroup barrier, contiguous index blocks.
+func ForEach(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				fn(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

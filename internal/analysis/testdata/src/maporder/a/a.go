@@ -1,0 +1,76 @@
+// Package a exercises the maporder analyzer's positive cases: map-range
+// bodies feeding order-sensitive sinks.
+package a
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/par"
+)
+
+// appendEscapes collects map values into a slice that is never sorted:
+// the classic shuffle-invariance bug.
+func appendEscapes(m map[string]int) []int {
+	var vals []int
+	for _, v := range m { // want `order-sensitive sink \(append to vals\)`
+		vals = append(vals, v)
+	}
+	return vals
+}
+
+// writerInOrder streams entries to an encoder in iteration order.
+func writerInOrder(m map[string]int, w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for k, v := range m { // want `order-sensitive sink \(enc.Encode\)`
+		if err := enc.Encode(map[string]int{k: v}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printed writes report text in iteration order.
+func printed(m map[string]int) {
+	for k, v := range m { // want `order-sensitive sink \(fmt.Printf\)`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// builderInOrder accumulates into a strings.Builder declared outside the
+// loop.
+func builderInOrder(m map[string]bool) string {
+	var b strings.Builder
+	for k := range m { // want `order-sensitive sink \(b.WriteString\)`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// channelSend feeds a consumer in iteration order.
+func channelSend(m map[string]int, ch chan<- int) {
+	for _, v := range m { // want `order-sensitive sink \(channel send\)`
+		ch <- v
+	}
+}
+
+// parFanOut dispatches pool work per map entry: worker slot assignment
+// then depends on iteration order.
+func parFanOut(m map[string][]float64) {
+	for _, row := range m { // want `order-sensitive sink \(par.ForEach fan-out\)`
+		par.ForEach(len(row), func(i int) { row[i] *= 2 })
+	}
+}
+
+// annotated is deliberately order-dependent (a commutative checksum would
+// be cleaner, but the annotation escape hatch must work).
+func annotated(m map[string]int) []int {
+	var vals []int
+	//detlint:allow maporder values are summed downstream; order is immaterial
+	for _, v := range m { // want-suppressed `order-sensitive sink`
+		vals = append(vals, v)
+	}
+	return vals
+}

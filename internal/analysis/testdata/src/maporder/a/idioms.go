@@ -1,0 +1,78 @@
+package a
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"strings"
+)
+
+// sortedKeysIdiom is the canonical fix: collect, sort, then iterate the
+// slice. The collecting append must not be flagged.
+func sortedKeysIdiom(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d\n", k, m[k])
+	}
+	return b.String()
+}
+
+// slicesSortIdiom is the same idiom through the slices package.
+func slicesSortIdiom(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// sortSliceIdiom sorts by a custom order after collecting.
+func sortSliceIdiom(m map[string]float64) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return m[names[i]] > m[names[j]] })
+	return names
+}
+
+// commutativeFolds never materialize iteration order: counting, summing,
+// min/max and building another map are all order-insensitive.
+func commutativeFolds(m map[string]int) (int, int, map[int]string) {
+	total, n := 0, 0
+	inverse := map[int]string{}
+	for k, v := range m {
+		total += v
+		n++
+		inverse[v] = k
+	}
+	return total, n, inverse
+}
+
+// perIterationBuffer writes through state scoped to one iteration: each
+// entry's bytes are self-contained, so iteration order never leaks.
+func perIterationBuffer(m map[string]int) map[string]string {
+	out := map[string]string{}
+	for k, v := range m {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s=%d", k, v)
+		out[k] = b.String()
+	}
+	return out
+}
+
+// sliceRange proves only maps are in scope: ranging a slice into an
+// appender is ordered by construction.
+func sliceRange(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x*x)
+	}
+	return out
+}

@@ -1,0 +1,42 @@
+// Package a exercises the wallclock analyzer: every time.Now / time.Since
+// / time.Sleep reference is a finding; the rest of the time package (and a
+// deliberately annotated measurement site) is not.
+package a
+
+import "time"
+
+func positives(d time.Duration) time.Duration {
+	start := time.Now() // want `wall-clock time.Now`
+	time.Sleep(d)       // want `wall-clock time.Sleep`
+	pause := time.Sleep // want `wall-clock time.Sleep`
+	pause(d)
+	return time.Since(start) // want `wall-clock time.Since`
+}
+
+func annotated() time.Time {
+	return time.Now() //detlint:allow wallclock benchmark throughput measurement in a test fixture // want-suppressed `wall-clock time.Now`
+}
+
+func annotatedAbove() time.Time {
+	//detlint:allow wallclock the annotation on the line above also suppresses
+	return time.Now() // want-suppressed `wall-clock time.Now`
+}
+
+// virtualOK uses the order-safe, deterministic parts of the time package:
+// constructing and formatting instants and durations never reads the host
+// clock.
+func virtualOK() (time.Time, time.Duration, error) {
+	at := time.Unix(0, 42).UTC()
+	_ = at.Add(3 * time.Second)
+	parsed, err := time.Parse("2006-01-02", "2026-08-08")
+	d, _ := time.ParseDuration("150ms")
+	_ = parsed.Format(time.RFC3339)
+	return at, d, err
+}
+
+// shadowed proves resolution is type-based: a local named time is not the
+// package.
+func shadowed() int {
+	time := struct{ Now int }{Now: 7}
+	return time.Now
+}

@@ -1,0 +1,13 @@
+// Package bad exercises the annotation grammar's error paths: a malformed
+// //detlint:allow must fail the build rather than silently suppressing
+// everything (or nothing).
+package bad
+
+import "time"
+
+func malformed() time.Time {
+	//detlint:allow // want `malformed //detlint:allow: missing analyzer name`
+	//detlint:allow nosuchanalyzer because // want `unknown analyzer "nosuchanalyzer"`
+	//detlint:allow wallclock // want `a reason is required`
+	return time.Now() // want `wall-clock time.Now`
+}

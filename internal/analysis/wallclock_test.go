@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.WallclockAnalyzer,
+		"wallclock/a", "wallclock/bad")
+}

@@ -127,7 +127,7 @@ func NewCoordinator(cfg CoordConfig) *Coordinator {
 		cfg.ChunkFrames = 16
 	}
 	if cfg.sleep == nil {
-		cfg.sleep = time.Sleep
+		cfg.sleep = time.Sleep //detlint:allow wallclock retry backoff against live worker processes; virtual time cannot pace real pipes
 	}
 	return &Coordinator{cfg: cfg}
 }
